@@ -1,0 +1,265 @@
+// Command mpq evaluates Datalog queries with the message-passing engine or
+// one of the baseline evaluators.
+//
+// Usage:
+//
+//	mpq [-engine message-passing|semi-naive|naive|magic-sets|brute-force]
+//	    [-strategy greedy|qualtree|leftright] [-batch] [-stats] [-graph]
+//	    [-data pred=file.csv]... [-i] [program.dl]
+//
+// The program file contains facts, rules, and at least one query — either
+// rules for the distinguished predicate goal, or `?- body.` sugar:
+//
+//	edge(a, b). edge(b, c).
+//	path(X, Y) :- edge(X, Y).
+//	path(X, Y) :- path(X, U), edge(U, Y).
+//	?- path(a, Y).
+//
+// -data loads tab- or comma-separated rows as extra facts for a predicate.
+// With -i, mpq reads clauses interactively after loading the program (if
+// any); each `?- body.` query evaluates immediately.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/parser"
+)
+
+// dataFlags collects repeated -data pred=path flags.
+type dataFlags []string
+
+func (d *dataFlags) String() string     { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	engineName := flag.String("engine", "message-passing", "evaluation engine")
+	strategy := flag.String("strategy", "greedy", "information passing strategy: greedy, qualtree, leftright, basic, stats")
+	batch := flag.Bool("batch", false, "package tuple requests (footnote 2)")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	graph := flag.Bool("graph", false, "print the rule/goal graph before evaluating")
+	interactive := flag.Bool("i", false, "interactive session")
+	traceMsgs := flag.Bool("trace", false, "log every engine message to stderr")
+	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
+	var data dataFlags
+	flag.Var(&data, "data", "load pred=file.csv facts (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpq [flags] [program.dl]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	eng, err := mpq.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []mpq.Option{mpq.WithEngine(eng), mpq.WithStrategy(*strategy)}
+	if *batch {
+		opts = append(opts, mpq.WithBatching())
+	}
+	if *traceMsgs {
+		opts = append(opts, mpq.WithTrace(os.Stderr))
+	}
+
+	if *interactive {
+		repl(flag.Arg(0), data, opts, *stats)
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := mpq.LoadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := loadData(sys, data); err != nil {
+		fatal(err)
+	}
+	if *graph {
+		g, err := sys.Graph(mpq.WithStrategy(*strategy))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(g.Text())
+	}
+	if *explain != "" {
+		if err := printProof(sys, *explain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	ans, err := sys.Eval(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	printAnswer(ans)
+	if *stats {
+		printStats(ans, eng)
+	}
+}
+
+func loadData(sys *mpq.System, data dataFlags) error {
+	for _, spec := range data {
+		pred, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -data %q, want pred=path", spec)
+		}
+		n, err := sys.LoadData(pred, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d %s facts from %s\n", n, pred, path)
+	}
+	return nil
+}
+
+func printAnswer(ans *mpq.Answer) {
+	if len(ans.Tuples) == 0 {
+		fmt.Println("no")
+		return
+	}
+	for _, t := range ans.Tuples {
+		if len(t) == 0 {
+			fmt.Println("yes")
+			continue
+		}
+		fmt.Println(strings.Join(t, "\t"))
+	}
+}
+
+func printStats(ans *mpq.Answer, eng mpq.Engine) {
+	if eng == mpq.MessagePassing {
+		fmt.Fprintf(os.Stderr, "%s\n", ans.Stats)
+	} else {
+		fmt.Fprintf(os.Stderr, "iterations=%d derived=%d model=%d joins=%d\n",
+			ans.Counts.Iterations, ans.Counts.Derived, ans.Counts.ModelSize, ans.Counts.Joins)
+	}
+}
+
+// repl reads clauses from stdin. Facts and rules accumulate; `?- body.`
+// evaluates immediately against everything accumulated so far. A starting
+// program file (optional) seeds the session.
+func repl(programPath string, data dataFlags, opts []mpq.Option, stats bool) {
+	var clauses []string
+	if programPath != "" {
+		src, err := os.ReadFile(programPath)
+		if err != nil {
+			fatal(err)
+		}
+		clauses = append(clauses, string(src))
+	}
+	fmt.Println("mpq interactive — enter facts/rules ending with '.', queries as '?- body.'; \\why fact(args). explains, \\list shows clauses, \\q quits")
+	sc := bufio.NewScanner(os.Stdin)
+	var partial string
+	for {
+		if partial == "" {
+			fmt.Print("mpq> ")
+		} else {
+			fmt.Print("...> ")
+		}
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+			continue
+		case `\q`, `\quit`:
+			return
+		case `\list`:
+			fmt.Print(strings.Join(clauses, "\n"))
+			fmt.Println()
+			continue
+		}
+		if fact, ok := strings.CutPrefix(line, `\why `); ok {
+			src := strings.Join(clauses, "\n") + "\n?- probe_(Z__)."
+			sys, err := mpq.Load(src)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			if err := loadData(sys, data); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			if err := printProof(sys, strings.TrimSuffix(strings.TrimSpace(fact), ".")); err != nil {
+				fmt.Println(err)
+			}
+			continue
+		}
+		partial += line + "\n"
+		if !strings.HasSuffix(line, ".") {
+			continue // clause continues on the next line
+		}
+		clause := partial
+		partial = ""
+		if strings.HasPrefix(strings.TrimSpace(clause), "?-") {
+			evalQuery(clauses, clause, data, opts, stats)
+			continue
+		}
+		// Check the clause stands on its own (syntax, safety) before
+		// keeping it; cross-clause conditions are re-checked per query.
+		if _, err := mpq.Load(clause + "\n?- probe_(Z)."); err != nil {
+			fmt.Println(err)
+			continue
+		}
+		clauses = append(clauses, clause)
+	}
+}
+
+func evalQuery(clauses []string, query string, data dataFlags, opts []mpq.Option, stats bool) {
+	src := strings.Join(clauses, "\n") + "\n" + query
+	sys, err := mpq.Load(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := loadData(sys, data); err != nil {
+		fmt.Println(err)
+		return
+	}
+	ans, err := sys.Eval(opts...)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	printAnswer(ans)
+	if stats {
+		printStats(ans, mpq.MessagePassing)
+	}
+}
+
+// printProof parses "pred(c1,c2,...)" and prints why it holds.
+func printProof(sys *mpq.System, factSrc string) error {
+	prog, err := parser.Parse(factSrc + ".")
+	if err != nil {
+		return err
+	}
+	if len(prog.Facts) != 1 {
+		return fmt.Errorf("-explain wants one ground fact, got %q", factSrc)
+	}
+	f := prog.Facts[0]
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.Const
+	}
+	proof, ok := sys.Explain(f.Pred, args...)
+	if !ok {
+		fmt.Printf("%s does not hold\n", f)
+		return nil
+	}
+	fmt.Print(proof)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command rgg prints information-passing rule/goal graphs (§2 of the
+// paper) for a program, in text or Graphviz dot form. With -p1 it prints
+// the graph for the paper's Example 2.1 program, regenerating Figure 1.
+//
+// Usage:
+//
+//	rgg [-strategy greedy|qualtree|leftright] [-dot] [-p1 | program.dl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+// p1 is the paper's Example 2.1: query p(a, Z) over the doubly recursive
+// rule. The EDB facts only establish r and q as extensional predicates; the
+// graph does not depend on them (Theorem 2.1).
+const p1 = `
+	goal(Z) :- p(a, Z).
+	p(X, Y) :- p(X, U), q(U, V), p(V, Y).
+	p(X, Y) :- r(X, Y).
+	r(x0, x1). q(x1, x1).
+`
+
+func main() {
+	strategy := flag.String("strategy", "greedy", "information passing strategy: greedy, qualtree, leftright, basic, stats")
+	dot := flag.Bool("dot", false, "emit Graphviz dot instead of text")
+	fig1 := flag.Bool("p1", false, "use the paper's Example 2.1 program (Figure 1)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rgg [flags] [program.dl]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var sys *mpq.System
+	var err error
+	switch {
+	case *fig1:
+		sys, err = mpq.Load(p1)
+	case flag.NArg() == 1:
+		sys, err = mpq.LoadFile(flag.Arg(0))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rgg:", err)
+		os.Exit(1)
+	}
+	g, err := sys.Graph(mpq.WithStrategy(*strategy))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rgg:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+	} else {
+		fmt.Print(g.Text())
+	}
+}

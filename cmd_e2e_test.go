@@ -1,0 +1,112 @@
+package mpq
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandsEndToEnd builds the actual binaries and drives them the way a
+// user would: mpq on a program file with a data file, rgg regenerating
+// Figure 1, qualtree analyzing the paper's rules, bench in quick mode, and
+// an mpqd pair cooperating over TCP.
+func TestCommandsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e CLI test skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"mpq", "rgg", "qualtree", "mpqd"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "q.dl")
+	if err := os.WriteFile(prog, []byte(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		?- path(a, Y).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "edges.csv")
+	if err := os.WriteFile(data, []byte("a,b\nb,c\nx,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("mpq", func(t *testing.T) {
+		for _, engine := range []string{"message-passing", "semi-naive", "magic-sets"} {
+			out, err := exec.Command(filepath.Join(bin, "mpq"),
+				"-engine", engine, "-data", "edge="+data, prog).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", engine, err, out)
+			}
+			s := string(out)
+			if !strings.Contains(s, "b") || !strings.Contains(s, "c") || strings.Contains(s, "y\n") {
+				t.Errorf("%s answers wrong:\n%s", engine, s)
+			}
+		}
+	})
+
+	t.Run("rgg", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "rgg"), "-p1").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"--cycle-->", "leader", "p(aᶜ"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("rgg -p1 missing %q:\n%s", want, out)
+			}
+		}
+		dot, err := exec.Command(filepath.Join(bin, "rgg"), "-p1", "-dot").CombinedOutput()
+		if err != nil || !strings.Contains(string(dot), "digraph") {
+			t.Errorf("rgg -dot failed: %v\n%s", err, dot)
+		}
+	})
+
+	t.Run("qualtree", func(t *testing.T) {
+		out, err := exec.Command(filepath.Join(bin, "qualtree"), "-example41").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "MONOTONE FLOW") ||
+			!strings.Contains(string(out), "lacks the monotone flow") {
+			t.Errorf("qualtree -example41 output wrong:\n%s", out)
+		}
+		fig5, err := exec.Command(filepath.Join(bin, "qualtree"), "-fig5").CombinedOutput()
+		if err != nil || !strings.Contains(string(fig5), "property holds") {
+			t.Errorf("qualtree -fig5 failed: %v\n%s", err, fig5)
+		}
+	})
+
+	t.Run("mpqd", func(t *testing.T) {
+		distProg := filepath.Join(dir, "dist.dl")
+		if err := os.WriteFile(distProg, []byte(`
+			edge(a, b). edge(b, c).
+			path(X, Y) :- edge(X, Y).
+			path(X, Y) :- path(X, U), edge(U, Y).
+			goal(Y) :- path(a, Y).
+		`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		addrs := "127.0.0.1:7911,127.0.0.1:7912"
+		site1 := exec.Command(filepath.Join(bin, "mpqd"), "-program", distProg, "-site", "1", "-addrs", addrs)
+		if err := site1.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer site1.Process.Kill()
+		out, err := exec.Command(filepath.Join(bin, "mpqd"),
+			"-program", distProg, "-site", "0", "-addrs", addrs).CombinedOutput()
+		if err != nil {
+			t.Fatalf("driver site: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "b") || !strings.Contains(string(out), "c") {
+			t.Errorf("mpqd answers wrong:\n%s", out)
+		}
+		site1.Wait()
+	})
+}

@@ -1,0 +1,390 @@
+// Package adorn implements the argument-class machinery of §2.2: the four
+// binding classes "c", "d", "e", "f", adorned atoms, and sideways
+// information passing (SIP) strategies — both the greedy strategy of
+// Definition 2.4 and the qual-tree strategy of Theorem 4.1 — together with
+// the monotone flow property test of Definition 4.2.
+package adorn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/hypergraph"
+)
+
+// Class is the binding class of one argument position.
+type Class byte
+
+const (
+	// Const ("c") arguments are constants known at graph-construction time.
+	Const Class = 'c'
+	// Dynamic ("d") arguments are bound during the computation to a set of
+	// needed values, functioning as semi-join operands.
+	Dynamic Class = 'd'
+	// Existential ("e") arguments are free variables whose values are not
+	// used; only the existence of a value matters, so values are never
+	// transmitted.
+	Existential Class = 'e'
+	// Free ("f") arguments are free variables whose bindings the
+	// computation must find.
+	Free Class = 'f'
+)
+
+// Adornment assigns a class to every argument position of an atom.
+type Adornment []Class
+
+// String renders the adornment as a compact string such as "cdf".
+func (a Adornment) String() string {
+	b := make([]byte, len(a))
+	for i, c := range a {
+		b[i] = byte(c)
+	}
+	return string(b)
+}
+
+// Equal reports position-wise equality.
+func (a Adornment) Equal(b Adornment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (a Adornment) Clone() Adornment {
+	out := make(Adornment, len(a))
+	copy(out, a)
+	return out
+}
+
+// Bound reports whether the class carries a value into the computation.
+func (c Class) Bound() bool { return c == Const || c == Dynamic }
+
+// Carried reports whether values at this position travel in tuple messages.
+// Existential positions are dropped: "the e designation indicates that its
+// value will not be transmitted" (§2.2).
+func (c Class) Carried() bool { return c != Existential }
+
+// AdornedAtom pairs an atom with an adornment of its argument positions.
+// The paper writes these as p(Xᵈ, Yᶠ); String renders them the same way
+// using superscript letters.
+type AdornedAtom struct {
+	Atom ast.Atom
+	Ad   Adornment
+}
+
+var superscript = map[Class]string{Const: "ᶜ", Dynamic: "ᵈ", Existential: "ᵉ", Free: "ᶠ"}
+
+// String renders the adorned atom in the paper's superscript notation.
+func (aa AdornedAtom) String() string {
+	if len(aa.Atom.Args) == 0 {
+		return aa.Atom.Pred
+	}
+	parts := make([]string, len(aa.Atom.Args))
+	for i, t := range aa.Atom.Args {
+		parts[i] = t.String() + superscript[aa.Ad[i]]
+	}
+	return aa.Atom.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ForQuery adorns a query goal atom: constants are "c" and variables "f"
+// (the job is to find bindings for them).
+func ForQuery(a ast.Atom) Adornment {
+	ad := make(Adornment, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			ad[i] = Free
+		} else {
+			ad[i] = Const
+		}
+	}
+	return ad
+}
+
+// BoundVars returns the distinct variables at bound (c or d) positions of
+// the adorned atom, in first-occurrence order. In rule instances, "c"
+// positions always hold constants, so in practice these are the "d"
+// variables; the definition covers both per Def 4.1.
+func (aa AdornedAtom) BoundVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i, t := range aa.Atom.Args {
+		if aa.Ad[i].Bound() && t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Arc is one edge of an information passing strategy (Def 2.3): bindings
+// for variable Var flow from source From to subgoal To. Sources and targets
+// are body indices; From == HeadSource means the binding comes from the
+// rule head's bound arguments.
+type Arc struct {
+	From int
+	To   int
+	Var  string
+}
+
+// HeadSource is the Arc.From value denoting the rule head.
+const HeadSource = -1
+
+// SIP is a sideways information passing strategy for one rule instance
+// under a given head adornment: an evaluation order over the subgoals, the
+// induced adornment of every subgoal, and the binding-flow arcs.
+type SIP struct {
+	Rule   ast.Rule    // the rule instance (head equals the goal node's atom)
+	HeadAd Adornment   // adornment of the head
+	Order  []int       // evaluation order: a permutation of body indices
+	SubAd  []Adornment // adornment per subgoal, indexed by body position
+	Arcs   []Arc       // binding flow (for analysis and display)
+}
+
+// Greedy computes the greedy information passing strategy of Definition
+// 2.4: repeatedly select, among the unevaluated subgoals, one with the
+// maximum number of bound argument positions (ties broken by body order),
+// so that "the set of d arguments in the subgoals is maximally pushed
+// forward".
+func Greedy(rule ast.Rule, headAd Adornment) *SIP {
+	n := len(rule.Body)
+	available := availableFromHead(rule, headAd)
+	order := make([]int, 0, n)
+	chosen := make([]bool, n)
+	for len(order) < n {
+		best, bestCount := -1, -1
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			c := boundCount(rule.Body[i], available)
+			if c > bestCount {
+				best, bestCount = i, c
+			}
+		}
+		chosen[best] = true
+		order = append(order, best)
+		for _, v := range rule.Body[best].Vars() {
+			if available[v] == 0 {
+				available[v] = len(order) // provider position, 1-based
+			}
+		}
+	}
+	return withOrder(rule, headAd, order)
+}
+
+// FromOrder builds the SIP that evaluates the subgoals in exactly the given
+// order. It is used for the qual-tree strategy (Theorem 4.1), for ablation
+// experiments comparing strategies, and by tests.
+func FromOrder(rule ast.Rule, headAd Adornment, order []int) *SIP {
+	if len(order) != len(rule.Body) {
+		panic(fmt.Sprintf("adorn: order of length %d for rule with %d subgoals", len(order), len(rule.Body)))
+	}
+	return withOrder(rule, headAd, order)
+}
+
+// availableFromHead returns a map whose keys are the variables bound before
+// any subgoal is evaluated: the head's c/d variables. Values are 0, meaning
+// "provided by the head".
+func availableFromHead(rule ast.Rule, headAd Adornment) map[string]int {
+	m := make(map[string]int)
+	for i, t := range rule.Head.Args {
+		if headAd[i].Bound() && t.IsVar() {
+			m[t.Var] = 0
+		}
+	}
+	return m
+}
+
+// boundCount scores an atom's bindings as the number of constant argument
+// positions plus the number of distinct variables already available. Using
+// distinct variables (not positions) matches the counting in Theorem 4.1's
+// proof, where a node is added "with maximum bound variables".
+func boundCount(a ast.Atom, available map[string]int) int {
+	n := 0
+	seen := make(map[string]bool)
+	for _, t := range a.Args {
+		if !t.IsVar() {
+			n++
+			continue
+		}
+		if seen[t.Var] {
+			continue
+		}
+		seen[t.Var] = true
+		if _, ok := available[t.Var]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// withOrder derives subgoal adornments and arcs from an evaluation order.
+func withOrder(rule ast.Rule, headAd Adornment, order []int) *SIP {
+	s := &SIP{Rule: rule, HeadAd: headAd.Clone(), Order: append([]int(nil), order...)}
+	s.SubAd = make([]Adornment, len(rule.Body))
+
+	// occurrence counts outside each subgoal, to detect "e" variables:
+	// a variable appearing in one subgoal and nowhere else in the rule.
+	occursElsewhere := func(v string, self int) bool {
+		for _, t := range rule.Head.Args {
+			if t.IsVar() && t.Var == v {
+				return true
+			}
+		}
+		for j, b := range rule.Body {
+			if j == self {
+				continue
+			}
+			for _, t := range b.Args {
+				if t.IsVar() && t.Var == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	available := availableFromHead(rule, headAd) // var → provider (0 = head, k = k-th evaluated subgoal)
+	for step, i := range order {
+		atom := rule.Body[i]
+		ad := make(Adornment, len(atom.Args))
+		arcSeen := make(map[Arc]bool)
+		for pos, t := range atom.Args {
+			switch {
+			case !t.IsVar():
+				ad[pos] = Const
+			default:
+				if prov, ok := available[t.Var]; ok {
+					ad[pos] = Dynamic
+					from := HeadSource
+					if prov > 0 {
+						from = order[prov-1]
+					}
+					a := Arc{From: from, To: i, Var: t.Var}
+					if !arcSeen[a] {
+						arcSeen[a] = true
+						s.Arcs = append(s.Arcs, a)
+					}
+				} else if occursElsewhere(t.Var, i) {
+					ad[pos] = Free
+				} else {
+					ad[pos] = Existential
+				}
+			}
+		}
+		s.SubAd[i] = ad
+		for _, v := range atom.Vars() {
+			if _, ok := available[v]; !ok {
+				available[v] = step + 1
+			}
+		}
+	}
+	return s
+}
+
+// Adorned returns the adorned atom of subgoal i under the strategy.
+func (s *SIP) Adorned(i int) AdornedAtom {
+	return AdornedAtom{Atom: s.Rule.Body[i], Ad: s.SubAd[i]}
+}
+
+// String renders the strategy in the paper's arrow notation, e.g.
+// "p(Xᵈ, Uᶠ) → q(Uᵈ, Vᶠ) → p(Vᵈ, Yᶠ)".
+func (s *SIP) String() string {
+	parts := make([]string, len(s.Order))
+	for k, i := range s.Order {
+		parts[k] = s.Adorned(i).String()
+	}
+	return strings.Join(parts, " → ")
+}
+
+// IsGreedy checks Definition 2.4 against the strategy's order: at every
+// step, the selected subgoal must have at least as many bound argument
+// positions as every subgoal not yet evaluated. It returns the first
+// violating step, or -1 if the strategy is greedy.
+func (s *SIP) IsGreedy() int {
+	available := availableFromHead(s.Rule, s.HeadAd)
+	remaining := make(map[int]bool)
+	for i := range s.Rule.Body {
+		remaining[i] = true
+	}
+	for step, i := range s.Order {
+		mine := boundCount(s.Rule.Body[i], available)
+		for j := range remaining {
+			if j != i && boundCount(s.Rule.Body[j], available) > mine {
+				return step
+			}
+		}
+		delete(remaining, i)
+		for _, v := range s.Rule.Body[i].Vars() {
+			if _, ok := available[v]; !ok {
+				available[v] = step + 1
+			}
+		}
+	}
+	return -1
+}
+
+// EvaluationHypergraph builds the Def 4.1 evaluation hypergraph of a rule
+// under a head adornment: edge 0 holds the head's bound variables; each
+// subgoal contributes an edge with all its variables.
+func EvaluationHypergraph(rule ast.Rule, headAd Adornment) *hypergraph.Hypergraph {
+	head := AdornedAtom{Atom: rule.Head, Ad: headAd}
+	subs := make([]hypergraph.Edge, len(rule.Body))
+	for i, b := range rule.Body {
+		subs[i] = hypergraph.NewEdge(b.String(), b.Vars()...)
+	}
+	return hypergraph.Evaluation(rule.Head.Pred, head.BoundVars(), subs)
+}
+
+// MonotoneFlow reports whether the rule (with the given head binding
+// classes) has the monotone flow property of Definition 4.2: its evaluation
+// hypergraph is α-acyclic.
+func MonotoneFlow(rule ast.Rule, headAd Adornment) bool {
+	return EvaluationHypergraph(rule, headAd).Acyclic()
+}
+
+// QualTreeSIP computes the information passing strategy of Theorem 4.1:
+// build the qual tree of the evaluation hypergraph rooted at the head edge
+// and direct all edges away from the root. Following the theorem's proof,
+// subgoals are added by repeatedly selecting, from the tree adjacency of
+// the nodes already added (the "k-adjacency"), a node with maximum bound
+// score. ok is false when the rule lacks the monotone flow property (the
+// hypergraph is cyclic and has no qual tree), in which case callers fall
+// back to Greedy.
+func QualTreeSIP(rule ast.Rule, headAd Adornment) (*SIP, bool) {
+	h := EvaluationHypergraph(rule, headAd)
+	qt, ok := h.QualTree(0)
+	if !ok {
+		return nil, false
+	}
+	available := availableFromHead(rule, headAd)
+	adjacency := append([]int(nil), qt.Children[qt.Root]...)
+	var order []int
+	for len(adjacency) > 0 {
+		best := 0
+		bestScore := -1
+		for k, e := range adjacency {
+			score := boundCount(rule.Body[e-1], available) // edge e is body subgoal e-1
+			if score > bestScore || (score == bestScore && e < adjacency[best]) {
+				best, bestScore = k, score
+			}
+		}
+		e := adjacency[best]
+		adjacency = append(adjacency[:best], adjacency[best+1:]...)
+		adjacency = append(adjacency, qt.Children[e]...)
+		order = append(order, e-1)
+		for _, v := range rule.Body[e-1].Vars() {
+			if _, ok := available[v]; !ok {
+				available[v] = len(order)
+			}
+		}
+	}
+	return withOrder(rule, headAd, order), true
+}

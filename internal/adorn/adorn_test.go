@@ -1,0 +1,262 @@
+package adorn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// rule parses a single rule from source.
+func rule(t *testing.T, src string) ast.Rule {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Rules[0]
+}
+
+func ad(s string) Adornment {
+	out := make(Adornment, len(s))
+	for i := range s {
+		out[i] = Class(s[i])
+	}
+	return out
+}
+
+func TestForQuery(t *testing.T) {
+	a := ast.NewAtom("p", ast.C("a"), ast.V("Z"))
+	if got := ForQuery(a); !got.Equal(ad("cf")) {
+		t.Errorf("ForQuery = %s, want cf", got)
+	}
+}
+
+func TestAdornmentString(t *testing.T) {
+	if ad("cdef").String() != "cdef" {
+		t.Error("Adornment.String wrong")
+	}
+	aa := AdornedAtom{Atom: ast.NewAtom("p", ast.C("a"), ast.V("Z")), Ad: ad("cf")}
+	if got := aa.String(); got != "p(aᶜ, Zᶠ)" {
+		t.Errorf("AdornedAtom.String = %q", got)
+	}
+}
+
+func TestBoundVars(t *testing.T) {
+	aa := AdornedAtom{
+		Atom: ast.NewAtom("p", ast.V("X"), ast.C("k"), ast.V("Y"), ast.V("X")),
+		Ad:   ad("dcfd"),
+	}
+	got := aa.BoundVars()
+	if len(got) != 1 || got[0] != "X" {
+		t.Errorf("BoundVars = %v, want [X]", got)
+	}
+}
+
+// TestGreedyExample21 reproduces the greedy strategy of Example 2.1: for
+// the recursive rule p(X,Y) :- p(X,U), q(U,V), p(V,Y) with only X bound,
+// the strategy is p(Xᵈ, Uᶠ) → q(Uᵈ, Vᶠ) → p(Vᵈ, Yᶠ).
+func TestGreedyExample21(t *testing.T) {
+	r := rule(t, `p(X, Y) :- p(X, U), q(U, V), p(V, Y).`)
+	s := Greedy(r, ad("df"))
+	wantOrder := []int{0, 1, 2}
+	for i, o := range wantOrder {
+		if s.Order[i] != o {
+			t.Fatalf("Order = %v, want %v", s.Order, wantOrder)
+		}
+	}
+	for i, want := range []string{"df", "df", "df"} {
+		if !s.SubAd[i].Equal(ad(want)) {
+			t.Errorf("SubAd[%d] = %s, want %s", i, s.SubAd[i], want)
+		}
+	}
+	if got := s.String(); got != "p(Xᵈ, Uᶠ) → q(Uᵈ, Vᶠ) → p(Vᵈ, Yᶠ)" {
+		t.Errorf("SIP = %q", got)
+	}
+	if s.IsGreedy() != -1 {
+		t.Error("greedy strategy failed its own greedy check")
+	}
+}
+
+// TestGreedyConstantHead covers the top instance of Example 2.1 where X is
+// the query constant a: p(aᶜ, Uᶠ) → q(Uᵈ, Vᶠ) → p(Vᵈ, Yᶠ).
+func TestGreedyConstantHead(t *testing.T) {
+	prog := parser.MustParse(`p(X, Y) :- p(X, U), q(U, V), p(V, Y). goal(Z) :- p(a,Z). r(x,x).`)
+	r := prog.Rules[0]
+	// Instantiate head as p(a, Y) the way rgg does.
+	inst := ast.Rule{
+		Head: ast.NewAtom("p", ast.C("a"), ast.V("Y")),
+		Body: []ast.Atom{
+			ast.NewAtom("p", ast.C("a"), ast.V("U")),
+			ast.NewAtom("q", ast.V("U"), ast.V("V")),
+			ast.NewAtom("p", ast.V("V"), ast.V("Y")),
+		},
+	}
+	s := Greedy(inst, ad("cf"))
+	if got := s.String(); got != "p(aᶜ, Uᶠ) → q(Uᵈ, Vᶠ) → p(Vᵈ, Yᶠ)" {
+		t.Errorf("SIP = %q", got)
+	}
+	_ = r
+}
+
+func TestGreedyReorders(t *testing.T) {
+	// With X bound, a(X,Y) must be evaluated before b(Y,Z) even though b
+	// is written first.
+	r := rule(t, `p(X, Z) :- b(Y, Z), a(X, Y).`)
+	s := Greedy(r, ad("df"))
+	if s.Order[0] != 1 || s.Order[1] != 0 {
+		t.Fatalf("Order = %v, want [1 0]", s.Order)
+	}
+	if !s.SubAd[1].Equal(ad("df")) || !s.SubAd[0].Equal(ad("df")) {
+		t.Errorf("adornments: a=%s b=%s", s.SubAd[1], s.SubAd[0])
+	}
+	if s.IsGreedy() != -1 {
+		t.Error("IsGreedy rejected greedy order")
+	}
+}
+
+func TestExistentialClass(t *testing.T) {
+	// Y appears in one subgoal and nowhere else: class e (§2.2).
+	r := rule(t, `p(X) :- q(X, Y), r(X).`)
+	s := Greedy(r, ad("d"))
+	if !s.SubAd[0].Equal(ad("de")) {
+		t.Errorf("q adornment = %s, want de", s.SubAd[0])
+	}
+	if !s.SubAd[1].Equal(ad("d")) {
+		t.Errorf("r adornment = %s, want d", s.SubAd[1])
+	}
+}
+
+func TestRepeatedVarInOneSubgoalIsExistential(t *testing.T) {
+	r := rule(t, `p(X) :- q(X, Y, Y).`)
+	s := Greedy(r, ad("d"))
+	if !s.SubAd[0].Equal(ad("dee")) {
+		t.Errorf("q adornment = %s, want dee", s.SubAd[0])
+	}
+}
+
+func TestHeadFreeVarIsF(t *testing.T) {
+	// Y appears only in one subgoal but also in the head: must be f, not e.
+	r := rule(t, `p(X, Y) :- q(X, Y).`)
+	s := Greedy(r, ad("df"))
+	if !s.SubAd[0].Equal(ad("df")) {
+		t.Errorf("q adornment = %s, want df", s.SubAd[0])
+	}
+}
+
+func TestArcs(t *testing.T) {
+	r := rule(t, `p(X, Y) :- p(X, U), q(U, V), p(V, Y).`)
+	s := Greedy(r, ad("df"))
+	wantArcs := []Arc{
+		{From: HeadSource, To: 0, Var: "X"},
+		{From: 0, To: 1, Var: "U"},
+		{From: 1, To: 2, Var: "V"},
+	}
+	if len(s.Arcs) != len(wantArcs) {
+		t.Fatalf("Arcs = %v, want %v", s.Arcs, wantArcs)
+	}
+	for i, w := range wantArcs {
+		if s.Arcs[i] != w {
+			t.Errorf("Arcs[%d] = %v, want %v", i, s.Arcs[i], w)
+		}
+	}
+}
+
+func TestIsGreedyDetectsViolation(t *testing.T) {
+	r := rule(t, `p(X, Z) :- b(Y, Z), a(X, Y).`)
+	s := FromOrder(r, ad("df"), []int{0, 1}) // evaluates b first with 0 bound args
+	if s.IsGreedy() != 0 {
+		t.Errorf("IsGreedy = %d, want violation at step 0", s.IsGreedy())
+	}
+}
+
+func TestMonotoneFlowExample41(t *testing.T) {
+	r1 := rule(t, `p(X, Z) :- a(X, Y), b(Y, U), c(U, Z).`)
+	r2 := rule(t, `p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).`)
+	r3 := rule(t, `p(X, Z) :- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).`)
+	if !MonotoneFlow(r1, ad("df")) {
+		t.Error("R1 should have monotone flow")
+	}
+	if !MonotoneFlow(r2, ad("df")) {
+		t.Error("R2 should have monotone flow")
+	}
+	if MonotoneFlow(r3, ad("df")) {
+		t.Error("R3 should not have monotone flow")
+	}
+}
+
+// TestThm41QualTreeSIPIsGreedy verifies Theorem 4.1 on the paper's R2: the
+// strategy obtained by directing qual tree edges away from the root is a
+// greedy one.
+func TestThm41QualTreeSIPIsGreedy(t *testing.T) {
+	r := rule(t, `p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).`)
+	s, ok := QualTreeSIP(r, ad("df"))
+	if !ok {
+		t.Fatal("QualTreeSIP failed on monotone-flow rule R2")
+	}
+	if s.Order[0] != 0 {
+		t.Errorf("first subgoal = %d, want a (0); order %v", s.Order[0], s.Order)
+	}
+	if step := s.IsGreedy(); step != -1 {
+		t.Errorf("Theorem 4.1 violated: qual-tree SIP not greedy at step %d (order %v)", step, s.Order)
+	}
+}
+
+func TestQualTreeSIPFailsOnCyclic(t *testing.T) {
+	r := rule(t, `p(X, Z) :- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).`)
+	if _, ok := QualTreeSIP(r, ad("df")); ok {
+		t.Error("QualTreeSIP succeeded on R3, which lacks monotone flow")
+	}
+}
+
+// TestQuickThm41 property-checks Theorem 4.1 on randomly generated
+// monotone-flow rules: whenever QualTreeSIP succeeds, the strategy is
+// greedy.
+func TestQuickThm41(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vars := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for i := 0; i < 500; i++ {
+		// Random rule: head p(V0, V1) over 2..5 subgoals with 1..3 vars each.
+		n := 2 + rng.Intn(4)
+		body := make([]ast.Atom, n)
+		pool := vars[:3+rng.Intn(5)]
+		for j := range body {
+			k := 1 + rng.Intn(3)
+			args := make([]ast.Term, k)
+			for m := range args {
+				args[m] = ast.V(pool[rng.Intn(len(pool))])
+			}
+			body[j] = ast.NewAtom("s"+string(rune('0'+j)), args...)
+		}
+		head := ast.NewAtom("p", ast.V(pool[0]), ast.V(pool[rng.Intn(len(pool))]))
+		r := ast.Rule{Head: head, Body: body}
+		headAd := ad("df")
+		s, ok := QualTreeSIP(r, headAd)
+		if !ok {
+			continue // not monotone flow; theorem does not apply
+		}
+		if step := s.IsGreedy(); step != -1 {
+			t.Fatalf("Theorem 4.1 violated at step %d for rule %s (order %v)", step, r, s.Order)
+		}
+	}
+}
+
+func TestFromOrderPanicsOnBadLength(t *testing.T) {
+	r := rule(t, `p(X) :- q(X).`)
+	defer func() {
+		if recover() == nil {
+			t.Error("FromOrder with wrong length did not panic")
+		}
+	}()
+	FromOrder(r, ad("d"), []int{0, 1})
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Const.Bound() || !Dynamic.Bound() || Free.Bound() || Existential.Bound() {
+		t.Error("Bound() wrong")
+	}
+	if !Const.Carried() || !Dynamic.Carried() || !Free.Carried() || Existential.Carried() {
+		t.Error("Carried() wrong")
+	}
+}

@@ -1,0 +1,202 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermBasics(t *testing.T) {
+	if !V("X").IsVar() {
+		t.Error("V(X).IsVar() = false")
+	}
+	if C("a").IsVar() {
+		t.Error("C(a).IsVar() = true")
+	}
+	if V("X").String() != "X" || C("a").String() != "a" {
+		t.Error("term String mismatch")
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"))
+	if got := a.String(); got != "p(X, a)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewAtom("halt").String(); got != "halt" {
+		t.Errorf("propositional String = %q", got)
+	}
+}
+
+func TestAtomVarsAndGround(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"), V("Y"), V("X"))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != "X" || vars[1] != "Y" {
+		t.Errorf("Vars = %v, want [X Y]", vars)
+	}
+	if a.IsGround() {
+		t.Error("IsGround = true for atom with variables")
+	}
+	if !NewAtom("p", C("a")).IsGround() {
+		t.Error("IsGround = false for ground atom")
+	}
+}
+
+func TestAtomEqual(t *testing.T) {
+	a := NewAtom("p", V("X"))
+	if !a.Equal(NewAtom("p", V("X"))) {
+		t.Error("identical atoms not Equal")
+	}
+	for _, b := range []Atom{
+		NewAtom("q", V("X")),
+		NewAtom("p", V("Y")),
+		NewAtom("p", V("X"), V("X")),
+		NewAtom("p", C("X")),
+	} {
+		if a.Equal(b) {
+			t.Errorf("%s Equal %s", a, b)
+		}
+	}
+}
+
+func TestPredKey(t *testing.T) {
+	a := NewAtom("p", V("X"), V("Y"))
+	if a.Key() != (PredKey{Name: "p", Arity: 2}) {
+		t.Errorf("Key = %v", a.Key())
+	}
+	if a.Key().String() != "p/2" {
+		t.Errorf("Key.String = %q", a.Key().String())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{NewAtom("q", V("X"), V("Z")), NewAtom("r", V("Z"), V("Y"))},
+	}
+	want := "p(X, Y) :- q(X, Z), r(Z, Y)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRuleVarsOrder(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("Y")),
+		Body: []Atom{NewAtom("q", V("X"), V("Y")), NewAtom("r", V("Z"))},
+	}
+	vars := r.Vars()
+	want := []string{"Y", "X", "Z"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	ok := Rule{Head: NewAtom("p", V("X")), Body: []Atom{NewAtom("q", V("X"))}}
+	if !ok.IsRangeRestricted() {
+		t.Error("safe rule reported unsafe")
+	}
+	bad := Rule{Head: NewAtom("p", V("X"), V("W")), Body: []Atom{NewAtom("q", V("X"))}}
+	if bad.IsRangeRestricted() {
+		t.Error("unsafe rule reported safe")
+	}
+	ground := Rule{Head: NewAtom("p", C("a")), Body: []Atom{NewAtom("q", V("X"))}}
+	if !ground.IsRangeRestricted() {
+		t.Error("ground-head rule reported unsafe")
+	}
+}
+
+func prog() *Program {
+	return &Program{
+		Facts: []Atom{NewAtom("e", C("a"), C("b")), NewAtom("e", C("b"), C("c"))},
+		Rules: []Rule{
+			{Head: NewAtom("p", V("X"), V("Y")), Body: []Atom{NewAtom("e", V("X"), V("Y"))}},
+			{Head: NewAtom("p", V("X"), V("Y")), Body: []Atom{NewAtom("p", V("X"), V("U")), NewAtom("e", V("U"), V("Y"))}},
+			{Head: NewAtom(GoalPred, V("Z")), Body: []Atom{NewAtom("p", C("a"), V("Z"))}},
+		},
+	}
+}
+
+func TestProgramPreds(t *testing.T) {
+	p := prog()
+	edb := p.EDBPreds()
+	if len(edb) != 1 || edb[0].Name != "e" {
+		t.Errorf("EDBPreds = %v", edb)
+	}
+	idb := p.IDBPreds()
+	if len(idb) != 2 { // goal and p
+		t.Errorf("IDBPreds = %v", idb)
+	}
+	if got := len(p.RulesFor(PredKey{Name: "p", Arity: 2})); got != 2 {
+		t.Errorf("RulesFor(p/2) = %d rules", got)
+	}
+	if got := len(p.QueryRules()); got != 1 {
+		t.Errorf("QueryRules = %d", got)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := prog().Validate(true); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Program)
+		want string
+	}{
+		{"nonground fact", func(p *Program) { p.Facts = append(p.Facts, NewAtom("e", V("X"), C("b"))) }, "not ground"},
+		{"EDB head", func(p *Program) {
+			p.Rules = append(p.Rules, Rule{Head: NewAtom("e", V("X"), V("Y")), Body: []Atom{NewAtom("p", V("X"), V("Y"))}})
+		}, "EDB predicate"},
+		{"unsafe rule", func(p *Program) {
+			p.Rules = append(p.Rules, Rule{Head: NewAtom("q", V("W")), Body: []Atom{NewAtom("e", V("X"), V("Y"))}})
+		}, "range restricted"},
+		{"goal in body", func(p *Program) {
+			p.Rules = append(p.Rules, Rule{Head: NewAtom("q", V("X")), Body: []Atom{NewAtom(GoalPred, V("X"))}})
+		}, "distinguished predicate"},
+		{"empty body", func(p *Program) {
+			p.Rules = append(p.Rules, Rule{Head: NewAtom("q", C("a"))})
+		}, "empty body"},
+		{"no query", func(p *Program) {
+			p.Rules = p.Rules[:2]
+		}, "no query rule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := prog()
+			tc.mut(p)
+			err := p.Validate(true)
+			if err == nil {
+				t.Fatal("Validate accepted invalid program")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateQueryOptional(t *testing.T) {
+	p := prog()
+	p.Rules = p.Rules[:2]
+	if err := p.Validate(false); err != nil {
+		t.Errorf("Validate(false): %v", err)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := prog().String()
+	for _, want := range []string{"e(a, b).", "p(X, Y) :- e(X, Y).", "goal(Z) :- p(a, Z)."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package bottomup
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/edb"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+func eval(t *testing.T, src string) (*Result, *Result, *Result, *edb.Database) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	if err := prog.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	db := edb.FromProgram(prog)
+	return Naive(prog, db), SemiNaive(prog, db), BruteForce(prog, db), db
+}
+
+func tuples(t *testing.T, db *edb.Database, r *relation.Relation) []string {
+	t.Helper()
+	var out []string
+	for _, row := range r.Sorted() {
+		out = append(out, row.String(db.Syms))
+	}
+	return out
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	nv, sn, bf, db := eval(t, `
+		edge(a, b). edge(b, c). edge(c, d).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(a, Y).
+	`)
+	want := "[(b) (c) (d)]"
+	for name, r := range map[string]*Result{"naive": nv, "seminaive": sn, "brute": bf} {
+		if got := fmt.Sprint(tuples(t, db, r.Goal)); got != want {
+			t.Errorf("%s goal = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	programs := []string{
+		// P1: nonlinear recursion.
+		`r(a, b). r(b, c). r(c, d). q(b, b). q(c, b). q(d, c).
+		 p(X, Y) :- p(X, U), q(U, V), p(V, Y).
+		 p(X, Y) :- r(X, Y).
+		 goal(Z) :- p(a, Z).`,
+		// Same generation.
+		`par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1). par(c3, p2).
+		 sg(X, Y) :- par(X, P), par(Y, P).
+		 sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+		 goal(Y) :- sg(c1, Y).`,
+		// Mutual recursion.
+		`e(a, b). e(b, c). e(c, d). e(d, e0).
+		 odd(X, Y) :- e(X, Y).
+		 odd(X, Y) :- even(X, U), e(U, Y).
+		 even(X, Y) :- odd(X, U), e(U, Y).
+		 goal(Y) :- even(a, Y).`,
+		// Cartesian flavor with constants in heads.
+		`f(a). g(b).
+		 h(X, Y) :- f(X), g(Y).
+		 h(b, a) :- f(a).
+		 goal(X, Y) :- h(X, Y).`,
+		// Propositional.
+		`wet. cold.
+		 ice :- wet, cold.
+		 goal :- ice.`,
+	}
+	for i, src := range programs {
+		nv, sn, bf, _ := eval(t, src)
+		if !relation.Equal(nv.Goal, sn.Goal) {
+			t.Errorf("program %d: naive and seminaive disagree: %d vs %d tuples", i, nv.Goal.Len(), sn.Goal.Len())
+		}
+		if !relation.Equal(nv.Goal, bf.Goal) {
+			t.Errorf("program %d: naive and brute force disagree: %d vs %d tuples", i, nv.Goal.Len(), bf.Goal.Len())
+		}
+		// The whole models must agree too, not just the goal.
+		for key, r := range nv.IDB {
+			if !relation.Equal(r, sn.IDB[key]) {
+				t.Errorf("program %d: models disagree on %s", i, key)
+			}
+			if !relation.Equal(r, bf.IDB[key]) {
+				t.Errorf("program %d: naive and brute disagree on %s", i, key)
+			}
+		}
+	}
+}
+
+func TestSemiNaiveDerivesLess(t *testing.T) {
+	// On a chain, semi-naive must not rederive old tuples every pass.
+	var src string
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	src += `
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(n0, Y).
+	`
+	nv, sn, _, _ := eval(t, src)
+	if sn.Derived >= nv.Derived {
+		t.Errorf("seminaive derived %d ≥ naive %d", sn.Derived, nv.Derived)
+	}
+	if nv.Goal.Len() != 20 {
+		t.Errorf("goal has %d tuples, want 20", nv.Goal.Len())
+	}
+}
+
+func TestEmptyEDB(t *testing.T) {
+	prog := parser.MustParse(`
+		path(X, Y) :- edge(X, Y).
+		goal(Y) :- path(a, Y).
+		seed(z).
+	`)
+	db := edb.FromProgram(prog)
+	res := SemiNaive(prog, db)
+	if res.Goal.Len() != 0 {
+		t.Errorf("goal over empty edge relation has %d tuples", res.Goal.Len())
+	}
+}
+
+func TestGroundGoal(t *testing.T) {
+	_, sn, _, _ := eval(t, `
+		edge(a, b).
+		path(X, Y) :- edge(X, Y).
+		goal :- path(a, b).
+	`)
+	if sn.Goal.Len() != 1 || sn.Goal.Arity() != 0 {
+		t.Errorf("ground goal: len=%d arity=%d, want 1/0", sn.Goal.Len(), sn.Goal.Arity())
+	}
+	_, sn2, _, _ := eval(t, `
+		edge(a, b).
+		path(X, Y) :- edge(X, Y).
+		goal :- path(b, a).
+	`)
+	if sn2.Goal.Len() != 0 {
+		t.Error("false ground goal derived")
+	}
+}
+
+func TestRepeatedVariables(t *testing.T) {
+	_, sn, _, db := eval(t, `
+		e(a, a). e(a, b). e(b, b).
+		loop(X) :- e(X, X).
+		goal(X) :- loop(X).
+	`)
+	if got := fmt.Sprint(tuples(t, db, sn.Goal)); got != "[(a) (b)]" {
+		t.Errorf("goal = %s", got)
+	}
+}
+
+func TestCountsPopulated(t *testing.T) {
+	nv, sn, bf, _ := eval(t, `
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(a, Y).
+	`)
+	for name, c := range map[string]Counts{"naive": nv.Counts, "seminaive": sn.Counts, "brute": bf.Counts} {
+		if c.Iterations == 0 || c.Derived == 0 || c.ModelSize == 0 {
+			t.Errorf("%s counts empty: %+v", name, c)
+		}
+	}
+	// Brute force must examine vastly more candidates than naive.
+	if bf.Joins <= nv.Joins {
+		t.Errorf("brute force joins %d ≤ naive %d", bf.Joins, nv.Joins)
+	}
+}

@@ -1,0 +1,189 @@
+package bottomup
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/edb"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// Proof is a derivation tree for one tuple: either an EDB fact (leaf) or an
+// application of a rule whose body tuples have proofs of their own. The
+// first derivation found is recorded, so proofs are minimal-iteration
+// witnesses (a tuple derived in pass k has a proof using only tuples from
+// earlier passes).
+type Proof struct {
+	// Atom is the proven fact, rendered with the database's symbols.
+	Atom ast.Atom
+	// EDB marks a leaf: the fact is stored in the extensional database.
+	EDB bool
+	// Rule is the instantiated rule whose head is Atom (non-leaf).
+	Rule ast.Rule
+	// Body holds one proof per body atom of Rule.
+	Body []*Proof
+}
+
+// String renders the proof as an indented tree.
+func (p *Proof) String() string {
+	var b strings.Builder
+	p.render(&b, 0)
+	return b.String()
+}
+
+func (p *Proof) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if p.EDB {
+		fmt.Fprintf(b, "%s.   [EDB fact]\n", p.Atom)
+		return
+	}
+	fmt.Fprintf(b, "%s   [by %s]\n", p.Atom, p.Rule)
+	for _, sub := range p.Body {
+		sub.render(b, depth+1)
+	}
+}
+
+// Size counts the derivation steps (non-leaf nodes) in the proof.
+func (p *Proof) Size() int {
+	if p.EDB {
+		return 0
+	}
+	n := 1
+	for _, sub := range p.Body {
+		n += sub.Size()
+	}
+	return n
+}
+
+// witness records how a tuple was first derived.
+type witness struct {
+	rule ast.Rule
+	env  map[string]symtab.Sym
+}
+
+// Explainer evaluates a program semi-naively while recording, for every
+// derived IDB tuple, the first rule application that produced it. Proof
+// trees can then be reconstructed for any derived tuple — the "why"
+// facility of classic deductive databases (cf. the paper's reference to
+// Walker's Syllog, a system built around explanations).
+type Explainer struct {
+	prog      *ast.Program
+	db        *edb.Database
+	res       *Result
+	witnesses map[ast.PredKey]map[string]witness
+}
+
+// NewExplainer evaluates the program and retains derivation witnesses.
+func NewExplainer(prog *ast.Program, db *edb.Database) *Explainer {
+	e := &Explainer{prog: prog, db: db, witnesses: make(map[ast.PredKey]map[string]witness)}
+	s := newState(prog, db)
+	// Naive iteration with witness recording: simpler than threading the
+	// semi-naive deltas, and the fixpoint (with first-wins recording)
+	// yields the same witnesses a stratified replay would.
+	for changed := true; changed; {
+		changed = false
+		s.counts.Iterations++
+		for _, rule := range prog.Rules {
+			rule := rule
+			head := s.idb[rule.Head.Key()]
+			s.matchBody(rule, 0, make(map[string]symtab.Sym), func(env map[string]symtab.Sym) {
+				s.counts.Derived++
+				t := instantiate(rule.Head, env, s.db.Syms)
+				if head.Insert(t) {
+					changed = true
+					e.record(rule.Head.Key(), t, rule, env)
+				}
+			})
+		}
+	}
+	e.res = s.result()
+	return e
+}
+
+func (e *Explainer) record(key ast.PredKey, t relation.Tuple, rule ast.Rule, env map[string]symtab.Sym) {
+	m, ok := e.witnesses[key]
+	if !ok {
+		m = make(map[string]witness)
+		e.witnesses[key] = m
+	}
+	k := t.Key()
+	if _, dup := m[k]; dup {
+		return
+	}
+	envCopy := make(map[string]symtab.Sym, len(env))
+	for v, s := range env {
+		envCopy[v] = s
+	}
+	m[k] = witness{rule: rule, env: envCopy}
+}
+
+// Result returns the underlying evaluation (goal relation, model, counts).
+func (e *Explainer) Result() *Result { return e.res }
+
+// Explain builds the proof tree for pred(args...). ok is false when the
+// fact is not in the minimum model.
+func (e *Explainer) Explain(pred string, args ...string) (*Proof, bool) {
+	t := make(relation.Tuple, len(args))
+	atom := ast.Atom{Pred: pred}
+	for i, a := range args {
+		sym, ok := e.db.Syms.Lookup(a)
+		if !ok {
+			return nil, false // constant unknown to the system
+		}
+		t[i] = sym
+		atom.Args = append(atom.Args, ast.C(a))
+	}
+	return e.prove(ast.PredKey{Name: pred, Arity: len(args)}, t, atom)
+}
+
+func (e *Explainer) prove(key ast.PredKey, t relation.Tuple, atom ast.Atom) (*Proof, bool) {
+	// IDB tuples never live in the base relations (Validate forbids EDB
+	// predicates in rule heads), so membership there means an EDB leaf.
+	if e.db.Relation(key).Contains(t) {
+		return &Proof{Atom: atom, EDB: true}, true
+	}
+	w, ok := e.witnesses[key][t.Key()]
+	if !ok {
+		return nil, false
+	}
+	ground := groundRule(w.rule, w.env, e.db.Syms)
+	proof := &Proof{Atom: ground.Head, Rule: ground}
+	for i, b := range ground.Body {
+		bt := make(relation.Tuple, len(b.Args))
+		for j, a := range b.Args {
+			sym, _ := e.db.Syms.Lookup(a.Const)
+			bt[j] = sym
+		}
+		sub, ok := e.prove(w.rule.Body[i].Key(), bt, b)
+		if !ok {
+			// Witness bodies are always derivable (they were matched when
+			// recorded), so this indicates corruption.
+			panic(fmt.Sprintf("bottomup: witness body %s unprovable", b))
+		}
+		proof.Body = append(proof.Body, sub)
+	}
+	return proof, true
+}
+
+// groundRule instantiates every atom of the rule under the witness
+// environment.
+func groundRule(r ast.Rule, env map[string]symtab.Sym, syms *symtab.Table) ast.Rule {
+	groundAtom := func(a ast.Atom) ast.Atom {
+		out := ast.Atom{Pred: a.Pred, Args: make([]ast.Term, len(a.Args))}
+		for i, t := range a.Args {
+			if t.IsVar() {
+				out.Args[i] = ast.C(syms.String(env[t.Var]))
+			} else {
+				out.Args[i] = t
+			}
+		}
+		return out
+	}
+	out := ast.Rule{Head: groundAtom(r.Head)}
+	for _, b := range r.Body {
+		out.Body = append(out.Body, groundAtom(b))
+	}
+	return out
+}

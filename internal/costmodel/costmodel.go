@@ -1,0 +1,158 @@
+// Package costmodel implements the order-of-magnitude cost model of §4.3,
+// under the paper's "reasonable assumptions": subgoal relations are of
+// comparable (large) size; each bound argument reduces a relation's size by
+// an order of magnitude; a join's size is the cross product reduced by one
+// order of magnitude per join-variable pair; the cost of a join is
+// proportional to the sizes of its operands and result; log factors are
+// ignored.
+//
+// Per footnote 5, "n is reduced by an order of magnitude if its logarithm
+// is reduced by some constant factor α < 1". All sizes here are therefore
+// carried as base-10 logarithms; reducing by an order of magnitude
+// multiplies the log by α.
+//
+// The package evaluates information passing strategies under this model and
+// supports the §4.3 conjecture experiments: for rules with the monotone
+// flow property, the greedy (qual-tree) strategy should be optimal.
+package costmodel
+
+import (
+	"math"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+)
+
+// Model fixes the two free parameters of §4.3's estimates.
+type Model struct {
+	// Alpha is footnote 5's α < 1: binding one argument multiplies a
+	// relation's log-size by α.
+	Alpha float64
+	// BaseLog is the log10 size of an unrestricted subgoal relation ("the
+	// relations of all subgoals are of comparable size, and large").
+	BaseLog float64
+}
+
+// Default mirrors the footnote's worked example (α = 0.3) over relations of
+// a million tuples.
+func Default() Model { return Model{Alpha: 0.3, BaseLog: 6} }
+
+// RelSize estimates the log-size of one subgoal's retrieved relation when
+// `bound` of its argument positions carry bindings ("bound arguments
+// function as selections"). Two bound arguments yield BaseLog·α².
+func (m Model) RelSize(bound int) float64 {
+	return m.BaseLog * math.Pow(m.Alpha, float64(bound))
+}
+
+// JoinSize estimates the log-size of a join: "the size of the cross product
+// reduced by one order of magnitude for each pair of join arguments".
+func (m Model) JoinSize(left, right float64, pairs int) float64 {
+	return (left + right) * math.Pow(m.Alpha, float64(pairs))
+}
+
+// addLog is log10(10^a + 10^b): the "sum of sizes" in log space.
+func addLog(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log10(1+math.Pow(10, b-a))
+}
+
+// Estimate is the model's evaluation of one strategy.
+type Estimate struct {
+	// CostLog is the log10 of the total cost: for each subgoal in order,
+	// the retrieval cost plus the join cost (operands + result).
+	CostLog float64
+	// MaxIntermediateLog is the log10 size of the largest intermediate
+	// join relation formed along the order.
+	MaxIntermediateLog float64
+	// StepSizes traces the running intermediate size after each subgoal.
+	StepSizes []float64
+}
+
+// EstimateSIP walks the strategy's evaluation order, maintaining the
+// running intermediate relation's estimated size.
+func EstimateSIP(s *adorn.SIP, m Model) Estimate {
+	bound := make(map[string]bool)
+	for i, t := range s.Rule.Head.Args {
+		if s.HeadAd[i].Bound() && t.IsVar() {
+			bound[t.Var] = true
+		}
+	}
+	est := Estimate{CostLog: math.Inf(-1)}
+	inter := 0.0 // log-size of the bindings relation so far (a handful of seeds)
+	for _, i := range s.Order {
+		atom := s.Rule.Body[i]
+		boundArgs := 0
+		pairs := 0
+		seen := make(map[string]bool)
+		for _, t := range atom.Args {
+			if !t.IsVar() {
+				boundArgs++
+				continue
+			}
+			if seen[t.Var] {
+				continue
+			}
+			seen[t.Var] = true
+			if bound[t.Var] {
+				boundArgs++
+				pairs++
+			}
+		}
+		size := m.RelSize(boundArgs)
+		joined := m.JoinSize(inter, size, pairs)
+		// Cost of this step: retrieve + join (operands and result).
+		step := addLog(addLog(inter, size), joined)
+		est.CostLog = addLog(est.CostLog, step)
+		inter = joined
+		if inter > est.MaxIntermediateLog {
+			est.MaxIntermediateLog = inter
+		}
+		est.StepSizes = append(est.StepSizes, inter)
+		for v := range seen {
+			bound[v] = true
+		}
+	}
+	return est
+}
+
+// BestOrder exhaustively searches all evaluation orders for the rule under
+// the head adornment and returns a minimum-cost order with its estimate.
+// Rules in practice have few subgoals, so n! search is fine.
+func BestOrder(rule ast.Rule, headAd adorn.Adornment, m Model) ([]int, Estimate) {
+	n := len(rule.Body)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best []int
+	bestEst := Estimate{CostLog: math.Inf(1)}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			est := EstimateSIP(adorn.FromOrder(rule, headAd, perm), m)
+			if est.CostLog < bestEst.CostLog {
+				bestEst = est
+				best = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, bestEst
+}
+
+// GreedyGap quantifies the §4.3 conjecture for one rule: the difference in
+// log-cost between the greedy strategy and the best possible order (0 means
+// greedy is optimal under the model).
+func GreedyGap(rule ast.Rule, headAd adorn.Adornment, m Model) float64 {
+	greedy := EstimateSIP(adorn.Greedy(rule, headAd), m)
+	_, best := BestOrder(rule, headAd, m)
+	return greedy.CostLog - best.CostLog
+}

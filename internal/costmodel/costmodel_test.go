@@ -1,0 +1,132 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func rule(t *testing.T, src string) ast.Rule {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Rules[0]
+}
+
+func ad(s string) adorn.Adornment {
+	out := make(adorn.Adornment, len(s))
+	for i := range s {
+		out[i] = adorn.Class(s[i])
+	}
+	return out
+}
+
+func TestRelSizeFootnote5(t *testing.T) {
+	// Footnote 5's worked example: α = .3 over size n means selection on
+	// one argument yields n^.3 and on two arguments n^.09.
+	m := Model{Alpha: 0.3, BaseLog: 6}
+	if got := m.RelSize(0); got != 6 {
+		t.Errorf("RelSize(0) = %v", got)
+	}
+	if got := m.RelSize(1); math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("RelSize(1) = %v, want 1.8 (n^.3)", got)
+	}
+	if got := m.RelSize(2); math.Abs(got-0.54) > 1e-9 {
+		t.Errorf("RelSize(2) = %v, want 0.54 (n^.09)", got)
+	}
+}
+
+func TestJoinSize(t *testing.T) {
+	m := Default()
+	cross := m.JoinSize(3, 4, 0)
+	if cross != 7 {
+		t.Errorf("cross product log = %v, want 7", cross)
+	}
+	one := m.JoinSize(3, 4, 1)
+	if one >= cross {
+		t.Error("join pair did not reduce size")
+	}
+	if math.Abs(one-7*0.3) > 1e-9 {
+		t.Errorf("JoinSize 1 pair = %v, want 2.1", one)
+	}
+}
+
+func TestEstimateChainCheaperBoundFirst(t *testing.T) {
+	// For a(X,Y), b(Y,Z) with X bound, evaluating a first (picking up the
+	// binding) must be estimated cheaper than b first.
+	r := rule(t, `p(X, Z) :- a(X, Y), b(Y, Z).`)
+	m := Default()
+	boundFirst := EstimateSIP(adorn.FromOrder(r, ad("df"), []int{0, 1}), m)
+	freeFirst := EstimateSIP(adorn.FromOrder(r, ad("df"), []int{1, 0}), m)
+	if boundFirst.CostLog >= freeFirst.CostLog {
+		t.Errorf("bound-first cost %v ≥ free-first %v", boundFirst.CostLog, freeFirst.CostLog)
+	}
+	if boundFirst.MaxIntermediateLog >= freeFirst.MaxIntermediateLog {
+		t.Errorf("bound-first intermediate %v ≥ free-first %v",
+			boundFirst.MaxIntermediateLog, freeFirst.MaxIntermediateLog)
+	}
+}
+
+func TestBestOrderFindsGreedy(t *testing.T) {
+	r := rule(t, `p(X, Z) :- b(Y, Z), a(X, Y).`)
+	m := Default()
+	best, _ := BestOrder(r, ad("df"), m)
+	if best[0] != 1 { // a(X,Y) first
+		t.Errorf("best order = %v, want a first", best)
+	}
+}
+
+// TestConjectureOnPaperRules checks the §4.3 conjecture on the paper's own
+// monotone-flow rules: the greedy strategy's estimated cost equals the
+// exhaustive optimum.
+func TestConjectureOnPaperRules(t *testing.T) {
+	rules := []string{
+		`p(X, Z) :- a(X, Y), b(Y, U), c(U, Z).`,
+		`p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).`,
+	}
+	m := Default()
+	for _, src := range rules {
+		r := rule(t, src)
+		if gap := GreedyGap(r, ad("df"), m); gap > 1e-9 {
+			t.Errorf("greedy suboptimal by %v log-cost on %s", gap, src)
+		}
+	}
+}
+
+func TestEstimateStepSizes(t *testing.T) {
+	r := rule(t, `p(X, Z) :- a(X, Y), b(Y, U), c(U, Z).`)
+	est := EstimateSIP(adorn.Greedy(r, ad("df")), Default())
+	if len(est.StepSizes) != 3 {
+		t.Fatalf("StepSizes = %v", est.StepSizes)
+	}
+	if est.MaxIntermediateLog < est.StepSizes[0] {
+		t.Error("MaxIntermediateLog below first step")
+	}
+}
+
+func TestRepeatedVarCountsOnce(t *testing.T) {
+	// a(X, X) with X bound: one bound variable but two bound positions;
+	// the model counts positions for selection strength via boundArgs —
+	// distinct vars, so RelSize gets bound=1... the estimate must at least
+	// not be larger than for a(X, Y) with X bound.
+	m := Default()
+	rep := EstimateSIP(adorn.Greedy(rule(t, `p(X) :- a(X, X).`), ad("d")), m)
+	nor := EstimateSIP(adorn.Greedy(rule(t, `p(X) :- a(X, Y).`), ad("d")), m)
+	if rep.CostLog > nor.CostLog+1e-9 {
+		t.Errorf("repeated-var estimate %v > distinct-var %v", rep.CostLog, nor.CostLog)
+	}
+}
+
+func TestAddLog(t *testing.T) {
+	if got := addLog(3, 3); math.Abs(got-(3+math.Log10(2))) > 1e-9 {
+		t.Errorf("addLog(3,3) = %v", got)
+	}
+	if got := addLog(6, 0); got < 6 || got > 6.001 {
+		t.Errorf("addLog(6,0) = %v", got)
+	}
+}

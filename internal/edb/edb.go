@@ -1,0 +1,187 @@
+// Package edb implements the extensional database of §1: a store of ground
+// atomic facts viewed as a conventional relational database. EDB leaf nodes
+// of the rule/goal graph service tuple requests by selection against these
+// relations; during graph construction the EDB is never consulted (§2.1),
+// which this package's read-only interface makes easy to respect.
+package edb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// Database is a set of named base relations sharing one symbol table.
+// Loading is not safe for concurrent use; once loaded, concurrent reads are
+// safe provided WarmIndexes has been called (index construction is lazy and
+// mutates the relation), which the engine does before starting node
+// processes.
+type Database struct {
+	Syms *symtab.Table
+	rels map[ast.PredKey]*relation.Relation
+}
+
+// New returns an empty database with a fresh symbol table.
+func New() *Database {
+	return &Database{Syms: symtab.New(), rels: make(map[ast.PredKey]*relation.Relation)}
+}
+
+// FromProgram loads every fact of the program into a new database.
+func FromProgram(p *ast.Program) *Database {
+	db := New()
+	for _, f := range p.Facts {
+		db.AddFact(f)
+	}
+	return db
+}
+
+// AddFact inserts one ground atom and reports whether it was new.
+// It panics if the atom is not ground; callers validate programs first.
+func (db *Database) AddFact(a ast.Atom) bool {
+	t := make(relation.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar() {
+			panic(fmt.Sprintf("edb: fact %s is not ground", a))
+		}
+		t[i] = db.Syms.Intern(arg.Const)
+	}
+	return db.rel(a.Key()).Insert(t)
+}
+
+// Add inserts the fact pred(args...) given as raw strings and reports
+// whether it was new. It is the convenient bulk-loading entry point for
+// generators and examples.
+func (db *Database) Add(pred string, args ...string) bool {
+	t := make(relation.Tuple, len(args))
+	for i, s := range args {
+		t[i] = db.Syms.Intern(s)
+	}
+	return db.rel(ast.PredKey{Name: pred, Arity: len(args)}).Insert(t)
+}
+
+func (db *Database) rel(key ast.PredKey) *relation.Relation {
+	r, ok := db.rels[key]
+	if !ok {
+		r = relation.New(key.Arity)
+		db.rels[key] = r
+	}
+	return r
+}
+
+// Has reports whether the database contains any facts for key.
+func (db *Database) Has(key ast.PredKey) bool {
+	_, ok := db.rels[key]
+	return ok
+}
+
+// Relation returns the base relation for key, or an empty relation of the
+// right arity if no facts were loaded for it. The result is owned by the
+// database and must not be mutated.
+func (db *Database) Relation(key ast.PredKey) *relation.Relation {
+	if r, ok := db.rels[key]; ok {
+		return r
+	}
+	return relation.New(key.Arity)
+}
+
+// Preds returns the predicate keys with at least one fact, sorted.
+func (db *Database) Preds() []ast.PredKey {
+	out := make([]ast.PredKey, 0, len(db.rels))
+	for k := range db.rels {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// Facts returns the total number of stored facts.
+func (db *Database) Facts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Constants returns every symbol interned in the database, i.e. the active
+// domain plus any constants interned by rule loading. The §1.1 brute-force
+// evaluator instantiates rule variables over this set.
+func (db *Database) Constants() []symtab.Sym {
+	return db.Syms.All()
+}
+
+// LoadRows bulk-loads delimited rows into the predicate's relation: one
+// fact per line, columns split on tabs or commas, blank lines and lines
+// starting with '#' skipped. Every row must have the same arity. It returns
+// the facts that were new, so callers keeping an ast.Program in sync can
+// append them.
+func (db *Database) LoadRows(pred string, r io.Reader) ([]ast.Atom, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var added []ast.Atom
+	arity, lineNo := -1, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var cols []string
+		if strings.ContainsRune(line, '\t') {
+			cols = strings.Split(line, "\t")
+		} else {
+			cols = strings.Split(line, ",")
+		}
+		for i := range cols {
+			cols[i] = strings.TrimSpace(cols[i])
+		}
+		if arity == -1 {
+			arity = len(cols)
+		} else if len(cols) != arity {
+			return added, fmt.Errorf("edb: %s line %d: %d columns, want %d", pred, lineNo, len(cols), arity)
+		}
+		if db.Add(pred, cols...) {
+			a := ast.Atom{Pred: pred}
+			for _, c := range cols {
+				a.Args = append(a.Args, ast.C(c))
+			}
+			added = append(added, a)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return added, fmt.Errorf("edb: reading %s: %w", pred, err)
+	}
+	return added, nil
+}
+
+// LoadFile is LoadRows over the named file.
+func (db *Database) LoadFile(pred, path string) ([]ast.Atom, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("edb: %w", err)
+	}
+	defer f.Close()
+	return db.LoadRows(pred, f)
+}
+
+// WarmIndexes pre-builds a hash index on every column of every base
+// relation so that later concurrent reads never mutate relation state.
+func (db *Database) WarmIndexes() {
+	for _, r := range db.rels {
+		for c := 0; c < r.Arity(); c++ {
+			r.BuildIndex(c)
+		}
+	}
+}

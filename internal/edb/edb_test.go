@@ -1,0 +1,176 @@
+package edb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+func TestAddAndSelect(t *testing.T) {
+	db := New()
+	if !db.Add("r", "a", "b") {
+		t.Error("first Add reported duplicate")
+	}
+	if db.Add("r", "a", "b") {
+		t.Error("duplicate Add reported new")
+	}
+	db.Add("r", "a", "c")
+	key := ast.PredKey{Name: "r", Arity: 2}
+	rel := db.Relation(key)
+	if rel.Len() != 2 {
+		t.Fatalf("r has %d tuples", rel.Len())
+	}
+	a, _ := db.Syms.Lookup("a")
+	got := rel.Select(relation.Binding{a, symtab.NoSym})
+	if len(got) != 2 {
+		t.Errorf("Select(a,_) = %d rows", len(got))
+	}
+}
+
+func TestFromProgram(t *testing.T) {
+	prog := parser.MustParse(`r(a,b). r(b,c). q(b,b). goal(Z) :- p(a,Z). p(X,Y) :- r(X,Y).`)
+	db := FromProgram(prog)
+	if db.Facts() != 3 {
+		t.Errorf("Facts = %d, want 3", db.Facts())
+	}
+	preds := db.Preds()
+	if len(preds) != 2 || preds[0].Name != "q" || preds[1].Name != "r" {
+		t.Errorf("Preds = %v", preds)
+	}
+	if !db.Has(ast.PredKey{Name: "r", Arity: 2}) {
+		t.Error("Has(r/2) = false")
+	}
+	if db.Has(ast.PredKey{Name: "p", Arity: 2}) {
+		t.Error("Has(p/2) = true; IDB predicate leaked into EDB")
+	}
+}
+
+func TestMissingRelationIsEmpty(t *testing.T) {
+	db := New()
+	rel := db.Relation(ast.PredKey{Name: "nothing", Arity: 3})
+	if rel.Len() != 0 || rel.Arity() != 3 {
+		t.Errorf("missing relation: len=%d arity=%d", rel.Len(), rel.Arity())
+	}
+}
+
+func TestSameNameDifferentArity(t *testing.T) {
+	db := New()
+	db.Add("r", "a")
+	db.Add("r", "a", "b")
+	if db.Relation(ast.PredKey{Name: "r", Arity: 1}).Len() != 1 {
+		t.Error("r/1 wrong")
+	}
+	if db.Relation(ast.PredKey{Name: "r", Arity: 2}).Len() != 1 {
+		t.Error("r/2 wrong")
+	}
+}
+
+func TestAddFactPanicsOnVariable(t *testing.T) {
+	db := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFact with variable did not panic")
+		}
+	}()
+	db.AddFact(ast.NewAtom("r", ast.V("X")))
+}
+
+func TestConstants(t *testing.T) {
+	db := New()
+	db.Add("r", "a", "b")
+	db.Add("r", "b", "c")
+	if n := len(db.Constants()); n != 3 {
+		t.Errorf("Constants = %d, want 3", n)
+	}
+}
+
+func TestLoadRows(t *testing.T) {
+	db := New()
+	added, err := db.LoadRows("edge", strings.NewReader(`
+# comment line
+a,b
+b , c
+
+a,b
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 {
+		t.Errorf("added = %d, want 2 (dup and blank skipped)", len(added))
+	}
+	rel := db.Relation(ast.PredKey{Name: "edge", Arity: 2})
+	if rel.Len() != 2 {
+		t.Errorf("relation has %d tuples", rel.Len())
+	}
+	c, ok := db.Syms.Lookup("c")
+	if !ok {
+		t.Fatal("whitespace not trimmed: constant c missing")
+	}
+	_ = c
+	for _, a := range added {
+		if !a.IsGround() || a.Pred != "edge" {
+			t.Errorf("bad returned atom %v", a)
+		}
+	}
+}
+
+func TestLoadRowsTabs(t *testing.T) {
+	db := New()
+	added, err := db.LoadRows("r", strings.NewReader("a\tb\tc\nx\ty\tz\n"))
+	if err != nil || len(added) != 2 {
+		t.Fatalf("added=%d err=%v", len(added), err)
+	}
+	if db.Relation(ast.PredKey{Name: "r", Arity: 3}).Len() != 2 {
+		t.Error("tab-separated rows not loaded as arity 3")
+	}
+}
+
+func TestLoadRowsArityMismatch(t *testing.T) {
+	db := New()
+	_, err := db.LoadRows("r", strings.NewReader("a,b\nc\n"))
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Errorf("arity mismatch not reported: %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "facts.csv")
+	if err := os.WriteFile(path, []byte("a,b\nb,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	added, err := db.LoadFile("edge", path)
+	if err != nil || len(added) != 2 {
+		t.Fatalf("added=%d err=%v", len(added), err)
+	}
+	if _, err := db.LoadFile("edge", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWarmIndexes(t *testing.T) {
+	db := New()
+	db.Add("r", "a", "b")
+	db.Add("empty0") // propositional: zero columns, nothing to index
+	db.WarmIndexes() // must not panic and must allow concurrent reads after
+	key := ast.PredKey{Name: "r", Arity: 2}
+	a, _ := db.Syms.Lookup("a")
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				db.Relation(key).Select(relation.Binding{a, symtab.NoSym})
+			}
+			done <- true
+		}()
+	}
+	<-done
+	<-done
+}

@@ -1,0 +1,34 @@
+package edb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadRows asserts bulk loading never panics and loads only ground,
+// same-arity facts.
+func FuzzLoadRows(f *testing.F) {
+	f.Add("a,b\nc,d\n")
+	f.Add("x\ty\tz\n")
+	f.Add("# comment\n\n a , b \n")
+	f.Add("one\ntwo,three\n")
+	f.Add(",\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		db := New()
+		added, err := db.LoadRows("p", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		arity := -1
+		for _, a := range added {
+			if !a.IsGround() {
+				t.Fatalf("loaded non-ground fact %v", a)
+			}
+			if arity == -1 {
+				arity = len(a.Args)
+			} else if len(a.Args) != arity {
+				t.Fatalf("mixed arity slipped through: %v", a)
+			}
+		}
+	})
+}

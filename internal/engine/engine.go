@@ -1,0 +1,254 @@
+// Package engine evaluates queries by message-controlled computation (§3):
+// every rule/goal graph node becomes a process (a goroutine) owning private
+// state and a FIFO mailbox; processes exchange relation requests, tuple
+// requests, tuples, and end messages; recursive components terminate via
+// the Fig 2 protocol run over each component's breadth-first spanning tree.
+//
+// No state is shared between node processes — all coordination is by
+// message, so the same engine runs over in-process mailboxes or the TCP
+// transport (see RunSites and transport.TCP).
+//
+// # Completion accounting
+//
+// The paper specifies end messages per request but leaves the bookkeeping
+// implicit. This engine uses watermarks on cross-component edges: a feeder
+// sends End{N} to its customer meaning "the first N tuple requests you sent
+// are fully serviced, and every answer preceded this End". Per-sender FIFO
+// delivery makes the claim checkable locally. Edges inside a strong
+// component carry no end messages at all; component quiescence is detected
+// by the Fig 2 protocol, after which the component's leader advances its
+// own watermark to its customer. A node whose adornment has no "d"
+// positions has exactly one implicit request and completes with End{All}.
+// See DESIGN.md for the full soundness argument.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/edb"
+	"repro/internal/msg"
+	"repro/internal/relation"
+	"repro/internal/rgg"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Result is a completed query evaluation.
+type Result struct {
+	// Answers holds the goal tuples, one column per goal argument.
+	Answers *relation.Relation
+	// Stats snapshots the execution counters.
+	Stats trace.Snapshot
+}
+
+// Options tune an evaluation. The zero value is ready to use.
+type Options struct {
+	// Stats, when non-nil, receives the execution counters (useful for
+	// aggregating across runs). A fresh Stats is used otherwise.
+	Stats *trace.Stats
+	// Batch enables footnote 2's "packaged" tuple requests: all requests a
+	// node generates while handling one message travel to each child in a
+	// single message. Answers and end watermarks are unchanged (watermarks
+	// count bindings); only message counts drop.
+	Batch bool
+	// Trace, when non-nil, receives one line per message sent, in send
+	// order per sender (global order is the scheduler's). Intended for
+	// debugging and teaching; it serializes sends and is slow.
+	Trace io.Writer
+	// EDBDelay simulates per-retrieval latency at EDB leaves (disk or a
+	// remote store), for the parallelism experiments: independent node
+	// processes overlap these waits, sequential evaluation cannot. Zero
+	// (the default) disables the simulation.
+	EDBDelay time.Duration
+}
+
+// Run evaluates the graph's query against the database with every node
+// process in this OS process, communicating over in-process mailboxes.
+func Run(g *rgg.Graph, db *edb.Database, opts Options) (*Result, error) {
+	return RunStream(g, db, opts, nil)
+}
+
+// RunStream is Run with answer streaming: yield is invoked for each goal
+// tuple as it arrives, in derivation order ("answer tuples come trickling
+// in throughout the computation", §3.1). Returning false cancels the
+// evaluation early — remaining node processes are shut down and the
+// partial Result returned. A nil yield collects answers silently.
+func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation.Tuple) bool) (*Result, error) {
+	n := len(g.Nodes)
+	local := transport.NewLocal(n + 1) // +1: the driver's mailbox
+	rt, err := newRunner(g, db, local, opts)
+	if err != nil {
+		return nil, err
+	}
+	for id := range g.Nodes {
+		rt.startProc(id, local.Boxes[id])
+	}
+	res := rt.driveStream(local.Boxes[n], yield)
+	local.Close() // unblocks any process still waiting after Shutdown races
+	rt.wg.Wait()
+	return res, nil
+}
+
+// RunSites evaluates the graph with node processes partitioned across
+// several sites connected by the given networks (typically transport.TCP).
+// hosts maps each node id — and the driver id, len(g.Nodes) — to a site.
+// Every nontrivial strong component must be co-located on one site (see
+// Partition); RunSites returns an error otherwise.
+//
+// Each participating site calls RunSites with its own site id and network;
+// the call on the driver's site returns the Result, all others return
+// (nil, nil) after their nodes shut down.
+func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *transport.Local,
+	hosts []int, site int, opts Options) (*Result, error) {
+	if len(hosts) != len(g.Nodes)+1 {
+		return nil, fmt.Errorf("engine: hosts has %d entries, want %d (nodes + driver)", len(hosts), len(g.Nodes)+1)
+	}
+	for _, members := range g.SCCs {
+		if len(members) == 1 {
+			continue
+		}
+		for _, m := range members {
+			if hosts[m] != hosts[members[0]] {
+				return nil, fmt.Errorf("engine: strong component split across sites %d and %d; co-locate recursive components", hosts[m], hosts[members[0]])
+			}
+		}
+	}
+	rt, err := newRunner(g, db, net, opts)
+	if err != nil {
+		return nil, err
+	}
+	for id := range g.Nodes {
+		if hosts[id] == site {
+			rt.startProc(id, local.Boxes[id])
+		}
+	}
+	if hosts[len(g.Nodes)] == site {
+		res := rt.drive(local.Boxes[len(g.Nodes)])
+		rt.wg.Wait()
+		return res, nil
+	}
+	rt.wg.Wait()
+	return nil, nil
+}
+
+// Partition assigns graph nodes to sites such that each nontrivial strong
+// component stays on one site. The driver and root go to site 0; remaining
+// components round-robin across sites by component.
+func Partition(g *rgg.Graph, sites int) []int {
+	hosts := make([]int, len(g.Nodes)+1)
+	hosts[len(g.Nodes)] = 0 // driver
+	next := 0
+	sccSite := make([]int, len(g.SCCs))
+	for i := range sccSite {
+		sccSite[i] = -1
+	}
+	sccSite[g.Nodes[g.Root].SCC] = 0
+	for id := range g.Nodes {
+		scc := g.Nodes[id].SCC
+		if sccSite[scc] == -1 {
+			sccSite[scc] = next % sites
+			next++
+		}
+		hosts[id] = sccSite[scc]
+	}
+	return hosts
+}
+
+// runtime holds the per-evaluation immutable context shared by node
+// processes: the graph, the database (read-only), the network, and the
+// stats sink. Mutable evaluation state lives inside each proc.
+type runner struct {
+	g        *rgg.Graph
+	db       *edb.Database
+	net      transport.Network
+	stats    *trace.Stats
+	driver   int // driver's node id: len(g.Nodes)
+	batch    bool
+	edbDelay time.Duration
+	traceW   io.Writer
+	traceMu  sync.Mutex
+	wg       sync.WaitGroup
+}
+
+func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Options) (*runner, error) {
+	stats := opts.Stats
+	if stats == nil {
+		stats = &trace.Stats{}
+	}
+	db.WarmIndexes()
+	return &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
+		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace}, nil
+}
+
+func (rt *runner) startProc(id int, box *transport.Mailbox) {
+	p := newProc(rt, id, box)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		p.loop()
+	}()
+}
+
+// drive plays the user process: it issues the top-level relation request,
+// collects goal tuples until the root's final end message, then shuts the
+// network down.
+func (rt *runner) drive(box *transport.Mailbox) *Result {
+	return rt.driveStream(box, nil)
+}
+
+func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple) bool) *Result {
+	rt.send(msg.Message{Kind: msg.RelReq, From: rt.driver, To: rt.g.Root})
+	rt.send(msg.Message{Kind: msg.ReqEnd, From: rt.driver, To: rt.g.Root})
+
+	arity := len(rt.g.Nodes[rt.g.Root].Atom.Args)
+	answers := relation.New(arity)
+	for {
+		m, ok := box.Get()
+		if !ok {
+			break
+		}
+		switch m.Kind {
+		case msg.Tuple:
+			answers.Insert(relation.Tuple(m.Vals))
+			if yield != nil && !yield(relation.Tuple(m.Vals)) {
+				goto done // caller cancelled: stop early
+			}
+		case msg.End:
+			if m.All {
+				goto done
+			}
+		}
+	}
+done:
+	for id := range rt.g.Nodes {
+		rt.send(msg.Message{Kind: msg.Shutdown, From: rt.driver, To: id})
+	}
+	return &Result{Answers: answers, Stats: rt.stats.Snapshot()}
+}
+
+// send dispatches a message and records it.
+func (rt *runner) send(m msg.Message) {
+	if rt.traceW != nil {
+		rt.traceMu.Lock()
+		fmt.Fprintf(rt.traceW, "%s\n", m)
+		rt.traceMu.Unlock()
+	}
+	switch m.Kind {
+	case msg.RelReq:
+		rt.stats.RelReq()
+	case msg.TupReq:
+		rt.stats.TupReq()
+	case msg.Tuple:
+		rt.stats.TupleMsg()
+	case msg.End:
+		rt.stats.EndMsg()
+	case msg.ReqEnd:
+		rt.stats.ReqEndMsg()
+	case msg.EndReq, msg.EndNeg, msg.EndConf, msg.Nudge:
+		rt.stats.ProtocolMsg()
+	}
+	rt.net.Send(m)
+}

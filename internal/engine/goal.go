@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/relation"
+	"repro/internal/rgg"
+	"repro/internal/symtab"
+)
+
+// goalState is the mutable state of a goal-node process. Three flavors
+// share it, distinguished at construction: ordinary IDB goal nodes (union
+// of rule children, per-customer answer streams), EDB leaves (selection
+// against the base relation), and variant nodes (selection on an ancestor's
+// relation through a cycle edge).
+//
+// Per §3.1, "goal nodes store their temporary relations, and only forward
+// answer tuples that are genuinely new", and "a goal node with multiple
+// out-edges needs to furnish answers in separate streams to each successor
+// node" — different successors will have requested different subsets.
+type goalState struct {
+	p *proc
+
+	dPos    []int // argument positions of class "d"
+	carried []int // argument positions whose values travel in tuples
+	dIdx    []int // index of each dPos within carried
+
+	customers map[int]*customerState
+
+	relReqForwarded bool
+	reqSeen         map[string]bool // d-bindings already forwarded/serviced
+	answers         *relation.Relation
+	byDKey          map[string][]relation.Tuple
+
+	// EDB leaves.
+	isEDB    bool
+	edbRel   *relation.Relation
+	consts   relation.Binding // constant positions, pre-interned
+	varPoses map[string][]int // variable → its argument positions
+
+	// Variant nodes.
+	cycleTo int
+
+	// Non-recursive end bookkeeping (single customer).
+	lastWatermark int
+	allSent       bool
+}
+
+// customerState is the per-successor view: which tuple requests this
+// customer has issued (so answers can be filtered into its stream), how
+// many, and whether it has promised to send no more.
+type customerState struct {
+	id         int
+	registered bool
+	reqs       map[string]bool
+	reqCount   int
+	reqEnd     bool
+}
+
+func newGoalState(p *proc) *goalState {
+	n := p.node
+	g := &goalState{
+		p:         p,
+		dPos:      dynamicPositions(n.Ad),
+		carried:   carriedPositions(n.Ad),
+		customers: make(map[int]*customerState),
+		reqSeen:   make(map[string]bool),
+		byDKey:    make(map[string][]relation.Tuple),
+		cycleTo:   n.CycleTo,
+		isEDB:     n.EDB,
+	}
+	g.answers = relation.New(len(g.carried))
+	idx := make(map[int]int, len(g.carried))
+	for i, pos := range g.carried {
+		idx[pos] = i
+	}
+	for _, pos := range g.dPos {
+		g.dIdx = append(g.dIdx, idx[pos])
+	}
+	if g.isEDB {
+		g.edbRel = p.rt.db.Relation(n.Atom.Key())
+		g.consts = make(relation.Binding, len(n.Atom.Args))
+		g.varPoses = make(map[string][]int)
+		for i, t := range n.Atom.Args {
+			if t.IsVar() {
+				g.varPoses[t.Var] = append(g.varPoses[t.Var], i)
+			} else {
+				g.consts[i] = p.rt.db.Syms.Intern(t.Const)
+			}
+		}
+	}
+	return g
+}
+
+func (g *goalState) customer(id int) *customerState {
+	cs, ok := g.customers[id]
+	if !ok {
+		cs = &customerState{id: id, reqs: make(map[string]bool)}
+		g.customers[id] = cs
+	}
+	return cs
+}
+
+func (g *goalState) handle(m msg.Message) {
+	switch m.Kind {
+	case msg.RelReq:
+		g.onRelReq(m)
+	case msg.TupReq:
+		eachBinding(m, len(g.dPos), func(vals []symtab.Sym) { g.onTupReq(m.From, vals) })
+	case msg.Tuple:
+		g.onTuple(m)
+	case msg.ReqEnd:
+		g.customer(m.From).reqEnd = true
+	default:
+		g.p.internalf("unexpected %s", m.Kind)
+	}
+}
+
+// onRelReq registers the customer and, on the first relation request,
+// propagates the request tree-downward (or across the cycle edge). A node
+// with no "d" positions has a single implicit request, so the relation
+// request doubles as the request-end.
+func (g *goalState) onRelReq(m msg.Message) {
+	cs := g.customer(m.From)
+	cs.registered = true
+	if len(g.dPos) == 0 {
+		cs.reqEnd = true
+		// A late-registering customer receives everything already stored.
+		// This precedes any servicing below so the triggering customer is
+		// not sent fresh answers twice (once here, once on arrival).
+		for _, t := range g.answers.Rows() {
+			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: t})
+		}
+	}
+	if !g.relReqForwarded {
+		g.relReqForwarded = true
+		switch {
+		case g.cycleTo != rgg.NoNode:
+			g.p.send(msg.Message{Kind: msg.RelReq, To: g.cycleTo})
+		case g.isEDB:
+			if len(g.dPos) == 0 {
+				g.serviceEDB(nil)
+			}
+		default:
+			for _, c := range g.p.node.Children {
+				g.p.send(msg.Message{Kind: msg.RelReq, To: c})
+			}
+		}
+	}
+}
+
+// onTupReq records the customer's binding, replays stored matching answers
+// into its stream, and forwards the binding once to whoever computes this
+// relation.
+func (g *goalState) onTupReq(from int, vals []symtab.Sym) {
+	cs := g.customer(from)
+	cs.reqCount++
+	key := relation.Tuple(vals).Key()
+	if !cs.reqs[key] {
+		cs.reqs[key] = true
+		for _, t := range g.byDKey[key] {
+			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: t})
+		}
+	}
+	if g.reqSeen[key] {
+		return
+	}
+	g.reqSeen[key] = true
+	switch {
+	case g.cycleTo != rgg.NoNode:
+		g.p.queueTupReq(g.cycleTo, vals)
+	case g.isEDB:
+		g.serviceEDB(vals)
+	default:
+		for _, c := range g.p.node.Children {
+			g.p.queueTupReq(c, vals)
+		}
+	}
+}
+
+// onTuple stores a (new) answer and fans it out to every customer whose
+// request set covers it. Variant nodes are the paper's "trivial goal nodes
+// ... exempt" from storing: they just relay the ancestor's stream.
+func (g *goalState) onTuple(m msg.Message) {
+	if g.cycleTo != rgg.NoNode {
+		g.p.send(msg.Message{Kind: msg.Tuple, To: g.p.customerID(), Vals: m.Vals})
+		return
+	}
+	t := relation.Tuple(m.Vals)
+	if !g.answers.Insert(t) {
+		g.p.rt.stats.Dup()
+		return
+	}
+	g.p.rt.stats.Stored()
+	stored := g.answers.Rows()[g.answers.Len()-1] // the engine-owned copy
+	key := g.dKey(stored)
+	g.byDKey[key] = append(g.byDKey[key], stored)
+	for _, cs := range g.customers {
+		if !cs.registered {
+			continue
+		}
+		if len(g.dPos) == 0 || cs.reqs[key] {
+			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: stored})
+		}
+	}
+}
+
+// dKey extracts the d-position values of a carried tuple; it equals the
+// Key of the tuple request that asked for it.
+func (g *goalState) dKey(t relation.Tuple) string {
+	vals := make(relation.Tuple, len(g.dIdx))
+	for i, k := range g.dIdx {
+		vals[i] = t[k]
+	}
+	return vals.Key()
+}
+
+// serviceEDB answers one tuple request (or the implicit request when vals
+// is nil) by selection against the base relation: constant positions and
+// "d" bindings select, repeated variables filter, and the projection to the
+// carried positions drops existential values.
+func (g *goalState) serviceEDB(vals []symtab.Sym) {
+	atom := g.p.node.Atom
+	binding := make(relation.Binding, len(atom.Args))
+	copy(binding, g.consts)
+	for i, pos := range g.dPos {
+		if binding[pos] != symtab.NoSym && binding[pos] != vals[i] {
+			return // repeated d-variable bound inconsistently: no matches
+		}
+		binding[pos] = vals[i]
+	}
+	g.p.rt.stats.EDBScan()
+	if d := g.p.rt.edbDelay; d > 0 {
+		time.Sleep(d) // simulated retrieval latency (see Options.EDBDelay)
+	}
+	rows := g.edbRel.Select(binding)
+	g.p.rt.stats.EDBTuples(len(rows))
+	buf := make(relation.Tuple, len(g.carried))
+rows:
+	for _, row := range rows {
+		for _, poses := range g.varPoses {
+			for _, pos := range poses[1:] {
+				if row[pos] != row[poses[0]] {
+					continue rows // repeated variable mismatch
+				}
+			}
+		}
+		for i, pos := range g.carried {
+			buf[i] = row[pos]
+		}
+		// Dedup through the answer store (projection may collapse rows
+		// that differ only existentially), then stream to the customer.
+		g.onTuple(msg.Message{Kind: msg.Tuple, From: g.p.id, To: g.p.id, Vals: buf})
+	}
+}
+
+// maybeEnd implements non-recursive completion: once every cross-component
+// child has serviced everything forwarded to it, the watermark advances to
+// the customer; once the customer has also promised no more requests, the
+// final End{All} goes out. Recursive nodes never reach here (the Fig 2
+// protocol governs them); see proc.after.
+func (g *goalState) maybeEnd() {
+	if !g.p.box.Empty() || !g.p.feedersSettled() {
+		return
+	}
+	cs, ok := g.customers[g.p.customerID()]
+	if !ok || !cs.registered {
+		return
+	}
+	g.emitEnd(cs)
+}
+
+// confirmedEnd is invoked on the component leader when a protocol round
+// confirms quiescence: everything requested so far is complete, so the
+// leader advances its customer's watermark (Theorem 3.1's "end message").
+func (g *goalState) confirmedEnd() {
+	cs, ok := g.customers[g.p.customerID()]
+	if !ok || !cs.registered {
+		return
+	}
+	g.emitEnd(cs)
+}
+
+func (g *goalState) emitEnd(cs *customerState) {
+	final := cs.reqEnd && !g.allSent
+	if cs.reqCount > g.lastWatermark || final {
+		g.p.send(msg.Message{Kind: msg.End, To: cs.id, N: cs.reqCount, All: cs.reqEnd})
+		g.lastWatermark = cs.reqCount
+		if cs.reqEnd {
+			g.allSent = true
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/adorn"
+	"repro/internal/msg"
+	"repro/internal/rgg"
+	"repro/internal/symtab"
+	"repro/internal/transport"
+)
+
+// proc is one node process. It owns its mailbox and all mutable state; the
+// only interaction with other processes is rt.send. The behavior dispatch
+// is by node kind: goal nodes (including EDB leaves and variant nodes with
+// cycle edges) live in goal.go, rule nodes in rule.go; the strong-component
+// termination protocol below is shared.
+type proc struct {
+	rt   *runner
+	id   int
+	node *rgg.Node
+	box  *transport.Mailbox
+
+	// recursive is true when the node belongs to a nontrivial strong
+	// component; such nodes run the Fig 2 protocol instead of sending
+	// per-edge end messages on internal edges.
+	recursive bool
+	isLeader  bool
+	leaderID  int
+	// bfstChildren are the protocol children; bfstParent is the protocol
+	// parent (valid for non-leader members).
+	bfstChildren []int
+	bfstParent   int
+
+	// feeds tracks each cross-component child edge for the watermark
+	// accounting: feeds[childID].
+	feeds map[int]*feedState
+
+	// Protocol state (§3.2, Fig 2).
+	idleness   int
+	round      int  // current round number at this node
+	waitingFor int  // outstanding child answers in the current round
+	anyNeg     bool // some child answered negative this round
+	inRound    bool // leader: a round is active
+	confirmed  bool // leader: the last round confirmed quiescence
+
+	// Kind-specific state.
+	goal *goalState
+	rule *ruleState
+
+	// pending buffers outgoing tuple requests per child while one message
+	// is being handled, when footnote 2's batching is enabled. Flushed
+	// after every handled message, before completion logic runs.
+	pending map[int]*reqBatch
+}
+
+// reqBatch accumulates concatenated d-bindings for one child.
+type reqBatch struct {
+	vals  []symtab.Sym
+	count int
+}
+
+// feedState is the customer's view of one cross-component child: how many
+// tuple requests were sent and how many the child has acknowledged as fully
+// serviced. Children without "d" positions have one implicit request,
+// completed by End{All}.
+type feedState struct {
+	hasD   bool
+	sent   int
+	acked  int
+	allEnd bool
+}
+
+func (f *feedState) settled() bool {
+	if f.hasD {
+		return f.acked >= f.sent
+	}
+	return f.allEnd
+}
+
+func newProc(rt *runner, id int, box *transport.Mailbox) *proc {
+	n := rt.g.Nodes[id]
+	p := &proc{rt: rt, id: id, node: n, box: box, feeds: make(map[int]*feedState)}
+	p.recursive = rt.g.Recursive(id)
+	if p.recursive {
+		p.leaderID = rt.g.Leader[n.SCC]
+		p.isLeader = p.leaderID == id
+		p.bfstChildren = n.BFSTChildren
+		if !p.isLeader {
+			p.bfstParent = n.Parent
+		} else {
+			p.bfstParent = rgg.NoNode
+		}
+	}
+	for _, c := range n.Children {
+		if rt.g.Nodes[c].SCC != n.SCC {
+			p.feeds[c] = &feedState{hasD: hasDynamic(childAdornment(rt.g, c))}
+		}
+	}
+	switch n.Kind {
+	case rgg.Goal:
+		p.goal = newGoalState(p)
+	case rgg.Rule:
+		p.rule = newRuleState(p)
+	}
+	return p
+}
+
+// childAdornment returns the adornment governing requests to child c: a
+// rule node inherits its parent goal's adornment; goal nodes carry their
+// own.
+func childAdornment(g *rgg.Graph, c int) adorn.Adornment {
+	return g.Nodes[c].Ad
+}
+
+func hasDynamic(ad adorn.Adornment) bool {
+	for _, c := range ad {
+		if c == adorn.Dynamic {
+			return true
+		}
+	}
+	return false
+}
+
+// carriedPositions returns the argument positions whose values travel in
+// tuple messages: every class except existential (§2.2).
+func carriedPositions(ad adorn.Adornment) []int {
+	var out []int
+	for i, c := range ad {
+		if c.Carried() && c != adorn.Const {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dynamicPositions returns the positions of class "d".
+func dynamicPositions(ad adorn.Adornment) []int {
+	var out []int
+	for i, c := range ad {
+		if c == adorn.Dynamic {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// loop is the process body: receive, handle, flush any batched requests,
+// then re-evaluate completion.
+func (p *proc) loop() {
+	for {
+		m, ok := p.box.Get()
+		if !ok || m.Kind == msg.Shutdown {
+			return
+		}
+		p.handle(m)
+		p.flushReqs()
+		p.after(m)
+	}
+}
+
+// queueTupReq sends (or, under batching, buffers) one tuple-request binding
+// for the child, maintaining the cross-component watermark accounting.
+func (p *proc) queueTupReq(child int, vals []symtab.Sym) {
+	if f := p.feeds[child]; f != nil {
+		f.sent++
+	}
+	if !p.rt.batch {
+		p.send(msg.Message{Kind: msg.TupReq, To: child, Vals: vals, Count: 1})
+		return
+	}
+	if p.pending == nil {
+		p.pending = make(map[int]*reqBatch)
+	}
+	b, ok := p.pending[child]
+	if !ok {
+		b = &reqBatch{}
+		p.pending[child] = b
+	}
+	b.vals = append(b.vals, vals...)
+	b.count++
+}
+
+// flushReqs emits one packaged tuple request per child with buffered
+// bindings (footnote 2: "if packaged, the retrieval can be done in one
+// scan").
+func (p *proc) flushReqs() {
+	for child, b := range p.pending {
+		if b.count > 0 {
+			p.send(msg.Message{Kind: msg.TupReq, To: child, Vals: b.vals, Count: b.count})
+			b.vals, b.count = nil, 0
+		}
+	}
+}
+
+// eachBinding invokes f once per binding of a (possibly batched) tuple
+// request; width is the receiver's d-binding width.
+func eachBinding(m msg.Message, width int, f func(vals []symtab.Sym)) {
+	count := m.Count
+	if count <= 1 {
+		f(m.Vals)
+		return
+	}
+	for i := 0; i < count; i++ {
+		f(m.Vals[i*width : (i+1)*width])
+	}
+}
+
+func (p *proc) handle(m msg.Message) {
+	switch m.Kind {
+	case msg.EndReq:
+		p.onEndReq(m)
+	case msg.EndNeg:
+		p.onEndAnswer(m, false)
+	case msg.EndConf:
+		p.onEndAnswer(m, true)
+	case msg.Nudge:
+		// handled in after()
+	case msg.End:
+		p.onEnd(m)
+	default:
+		if p.goal != nil {
+			p.goal.handle(m)
+		} else {
+			p.rule.handle(m)
+		}
+	}
+}
+
+// onEnd updates the watermark for a cross-component child.
+func (p *proc) onEnd(m msg.Message) {
+	f, ok := p.feeds[m.From]
+	if !ok {
+		return // end from an internal edge; ignore (should not happen)
+	}
+	if m.N > f.acked {
+		f.acked = m.N
+	}
+	if m.All {
+		f.allEnd = true
+	}
+}
+
+// feedersSettled reports whether every cross-component child has serviced
+// everything sent to it — the "received end messages from all its feeders"
+// half of empty_queues().
+func (p *proc) feedersSettled() bool {
+	for _, f := range p.feeds {
+		if !f.settled() {
+			return false
+		}
+	}
+	return true
+}
+
+// emptyQueues is the protocol predicate of Fig 2: the node has no pending
+// work and its feeders have serviced all outstanding requests.
+func (p *proc) emptyQueues() bool {
+	return p.box.Empty() && p.feedersSettled()
+}
+
+// isWork classifies messages that constitute computation: anything except
+// the termination-protocol traffic resets idleness (Fig 2's process_tuple
+// does `idleness := 0`; we conservatively treat feeder end messages as work
+// too).
+func isWork(k msg.Kind) bool {
+	switch k {
+	case msg.EndReq, msg.EndNeg, msg.EndConf, msg.Nudge:
+		return false
+	}
+	return true
+}
+
+// after runs the completion logic following every handled message: idleness
+// bookkeeping, non-recursive end emission, nudges, and leader round starts.
+func (p *proc) after(m msg.Message) {
+	if p.recursive {
+		if isWork(m.Kind) {
+			p.idleness = 0
+			if p.isLeader {
+				p.confirmed = false
+			}
+		}
+		if p.isLeader {
+			if !p.inRound && p.emptyQueues() && !p.confirmed {
+				p.startRound()
+			}
+		} else if isWork(m.Kind) && p.emptyQueues() {
+			// Local quiescence may complete global quiescence: hint the
+			// leader to (re)try a protocol round.
+			p.send(msg.Message{Kind: msg.Nudge, To: p.leaderID})
+		}
+		return
+	}
+	// Non-recursive completion: emit watermark/final ends when settled.
+	if p.goal != nil {
+		p.goal.maybeEnd()
+	} else {
+		p.rule.maybeEnd()
+	}
+}
+
+// ---- Fig 2: distributed termination of cycles -----------------------------
+
+// startRound originates an end request (leader only): "idleness := 1;
+// create-end-request; process-end-request".
+func (p *proc) startRound() {
+	p.rt.stats.Round()
+	p.round++
+	p.inRound = true
+	p.anyNeg = false
+	p.idleness = 1
+	p.processEndReq()
+}
+
+// onEndReq handles an end request arriving at a member from its BFST
+// parent.
+func (p *proc) onEndReq(m msg.Message) {
+	p.round = m.Round
+	p.processEndReq()
+}
+
+// processEndReq is Fig 2's process_end_request: bump or reset idleness,
+// then forward the probe down the spanning tree, or answer immediately at a
+// leaf.
+func (p *proc) processEndReq() {
+	if p.emptyQueues() {
+		p.idleness++
+	} else {
+		p.idleness = 0
+	}
+	p.waitingFor = len(p.bfstChildren)
+	p.anyNeg = false
+	if p.waitingFor > 0 {
+		for _, c := range p.bfstChildren {
+			p.send(msg.Message{Kind: msg.EndReq, To: c, Round: p.round})
+		}
+		return
+	}
+	p.answerRound()
+}
+
+// onEndAnswer handles a child's end negative / end confirmed.
+func (p *proc) onEndAnswer(m msg.Message, confirmed bool) {
+	if m.Round != p.round {
+		return // stale answer from an abandoned round; cannot normally occur
+	}
+	if !confirmed {
+		p.anyNeg = true
+	}
+	p.waitingFor--
+	if p.waitingFor == 0 {
+		p.answerRound()
+	}
+}
+
+// answerRound concludes this node's part of the round once every child has
+// answered: pass end confirmed up only if all children confirmed and this
+// node has been idle for the whole period between the two most recent end
+// requests (idleness ≥ 2); the leader either concludes the protocol or
+// retries.
+func (p *proc) answerRound() {
+	ok := !p.anyNeg && p.idleness >= 2
+	if !p.isLeader {
+		kind := msg.EndNeg
+		if ok {
+			kind = msg.EndConf
+		}
+		p.send(msg.Message{Kind: kind, To: p.bfstParent, Round: p.round})
+		return
+	}
+	p.inRound = false
+	if ok {
+		// "The BFST leader issues an end message if and only if all nodes
+		// in the strong component are idle and end messages have been
+		// received from all feeders of the strong component" (Thm 3.1).
+		p.confirmed = true
+		p.goal.confirmedEnd()
+		return
+	}
+	// Fig 2's process_end_negative: retry immediately while locally quiet.
+	if p.emptyQueues() {
+		runtime.Gosched() // let in-flight work land before probing again
+		if p.emptyQueues() {
+			p.startRound()
+		} else {
+			// New work just arrived; the normal after() path will restart.
+		}
+	}
+}
+
+// send stamps the sender and dispatches.
+func (p *proc) send(m msg.Message) {
+	m.From = p.id
+	p.rt.send(m)
+}
+
+// customerID returns the node's customer for end purposes: its tree parent,
+// or the driver for the root.
+func (p *proc) customerID() int {
+	if p.node.Parent == rgg.NoNode {
+		return p.rt.driver
+	}
+	return p.node.Parent
+}
+
+func (p *proc) internalf(format string, args ...any) {
+	panic(fmt.Sprintf("engine: node %d (%s): %s", p.id, p.node.Adorned(), fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bottomup"
+	"repro/internal/edb"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rgg"
+	"repro/internal/workload"
+)
+
+// TestNoGoroutineLeak runs many evaluations and checks the goroutine count
+// returns to its baseline: every node process must exit on shutdown, even
+// across recursive components and cancelled streams.
+func TestNoGoroutineLeak(t *testing.T) {
+	prog := parser.MustParse(p1data)
+	g, err := rgg.Build(prog, rgg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := func() {
+		db := edb.FromProgram(prog)
+		if _, err := Run(g, db, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		warm()
+		// Every other run: cancel after the first answer.
+		db := edb.FromProgram(prog)
+		if _, err := RunStream(g, db, Options{}, func(relation.Tuple) bool { return false }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, now)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSoakLargeWorkloads exercises the engine at a scale well beyond the
+// experiment sizes; skipped in -short mode.
+func TestSoakLargeWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name string
+		prog func() (src string)
+	}{
+		{"tc-random-300", func() string {
+			src := ""
+			for k := 0; k < 1200; k++ {
+				src += fmt.Sprintf("edge(n%d, n%d).\n", rng.Intn(300), rng.Intn(300))
+			}
+			src += "edge(n0, n1).\n" + `
+				path(X, Y) :- edge(X, Y).
+				path(X, Y) :- path(X, U), edge(U, Y).
+				goal(Y) :- path(n0, Y).`
+			return src
+		}},
+		{"samegen-tree-3-5", func() string {
+			prog := workload.Program(workload.SameGenRules, workload.Tree(3, 5))
+			return prog.String()
+		}},
+		{"p1-256", func() string {
+			prog := workload.Program(workload.P1Rules, workload.P1Data(256, 0.6, rng))
+			return prog.String()
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			src := c.prog()
+			prog := parser.MustParse(src)
+			g, err := rgg.Build(prog, rgg.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan *Result, 1)
+			go func() {
+				res, err := Run(g, edb.FromProgram(prog), Options{})
+				if err != nil {
+					t.Error(err)
+				}
+				done <- res
+			}()
+			var res *Result
+			select {
+			case res = <-done:
+			case <-time.After(120 * time.Second):
+				t.Fatal("soak run hung")
+			}
+			truth := bottomup.SemiNaive(prog, edb.FromProgram(prog))
+			if res.Answers.Len() != truth.Goal.Len() {
+				t.Fatalf("answers %d != %d", res.Answers.Len(), truth.Goal.Len())
+			}
+			t.Logf("%s: %d answers, %d msgs, %d stored (model %d)",
+				c.name, res.Answers.Len(), res.Stats.Messages(), res.Stats.Stored, truth.ModelSize)
+		})
+	}
+}

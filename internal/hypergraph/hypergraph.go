@@ -1,0 +1,419 @@
+// Package hypergraph implements the §4 machinery: hypergraphs over rule
+// variables, the Graham (GYO) reduction that tests α-acyclicity, qual trees
+// rooted at the rule head, the qual-tree (running-intersection) property
+// checker, and qual-tree composition under resolution (Theorem 4.2).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a hyperedge: a named set of variables. For an evaluation
+// hypergraph (Def 4.1) there is one edge per subgoal containing all of its
+// variables, plus a head edge containing only the head's bound ("c"/"d")
+// variables.
+type Edge struct {
+	Name string
+	Vars []string
+}
+
+// NewEdge builds an edge, deduplicating variables and preserving first
+// occurrence order.
+func NewEdge(name string, vars ...string) Edge {
+	seen := make(map[string]bool)
+	e := Edge{Name: name}
+	for _, v := range vars {
+		if !seen[v] {
+			seen[v] = true
+			e.Vars = append(e.Vars, v)
+		}
+	}
+	return e
+}
+
+// Has reports whether the edge contains the variable.
+func (e Edge) Has(v string) bool {
+	for _, x := range e.Vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the edge as name{vars}.
+func (e Edge) String() string {
+	return e.Name + "{" + strings.Join(e.Vars, ",") + "}"
+}
+
+// Hypergraph is an ordered collection of hyperedges. Edge order matters
+// only for determinism of the reduction trace and for identifying edges by
+// index (the head edge of an evaluation hypergraph is edge 0 by convention).
+type Hypergraph struct {
+	Edges []Edge
+}
+
+// New builds a hypergraph from edges.
+func New(edges ...Edge) *Hypergraph {
+	return &Hypergraph{Edges: edges}
+}
+
+// Evaluation builds the evaluation hypergraph of Definition 4.1: edge 0 is
+// the head edge containing exactly the head's bound variables (superscript
+// "b" in the paper), followed by one edge per subgoal containing all of
+// that subgoal's variables.
+func Evaluation(headName string, headBound []string, subgoals []Edge) *Hypergraph {
+	edges := make([]Edge, 0, len(subgoals)+1)
+	edges = append(edges, NewEdge(headName+"ᵇ", headBound...))
+	edges = append(edges, subgoals...)
+	return &Hypergraph{Edges: edges}
+}
+
+// Vars returns the distinct variables of the hypergraph, sorted.
+func (h *Hypergraph) Vars() []string {
+	set := make(map[string]bool)
+	for _, e := range h.Edges {
+		for _, v := range e.Vars {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StepKind distinguishes the two GYO reductions of §4.1.
+type StepKind int
+
+const (
+	// DeleteVar is reduction 1: "if a variable is currently in only one
+	// hyperedge, delete it."
+	DeleteVar StepKind = iota
+	// DeleteEdge is reduction 2: "if a hyperedge h1 is a subset of another
+	// hyperedge h2, add an edge between h1 and h2 to the qual tree and
+	// delete h1 from the hypergraph."
+	DeleteEdge
+)
+
+// Step is one recorded application of a GYO reduction.
+type Step struct {
+	Kind StepKind
+	Var  string // DeleteVar: the variable removed
+	Edge int    // both kinds: the edge acted on (index into Edges)
+	Into int    // DeleteEdge: the superset edge h2
+}
+
+// String renders the step for reduction traces.
+func (s Step) String() string {
+	if s.Kind == DeleteVar {
+		return fmt.Sprintf("delete var %s from edge %d", s.Var, s.Edge)
+	}
+	return fmt.Sprintf("delete edge %d (subset of edge %d)", s.Edge, s.Into)
+}
+
+// Reduction is the outcome of running GYO to completion.
+type Reduction struct {
+	Acyclic  bool
+	Steps    []Step
+	Tree     [][2]int // join-tree edges (deleted edge, attached-to edge)
+	Survivor int      // last surviving edge when acyclic, else -1
+}
+
+// Reduce runs the Graham reduction to a fixpoint. The hypergraph itself is
+// not modified; the reduction works on copies of the variable sets.
+//
+// "It is known that a hypergraph is acyclic if and only if this procedure
+// reduces it to one empty edge" (§4.1). The recorded Tree, taken as an
+// undirected graph over all original edges, is a join tree when acyclic.
+func (h *Hypergraph) Reduce() *Reduction {
+	n := len(h.Edges)
+	red := &Reduction{Survivor: -1}
+	if n == 0 {
+		red.Acyclic = true
+		return red
+	}
+	vars := make([]map[string]bool, n)
+	alive := make([]bool, n)
+	for i, e := range h.Edges {
+		vars[i] = make(map[string]bool, len(e.Vars))
+		for _, v := range e.Vars {
+			vars[i][v] = true
+		}
+		alive[i] = true
+	}
+	aliveCount := n
+
+	occurrences := func(v string) (count, only int) {
+		only = -1
+		for i := 0; i < n; i++ {
+			if alive[i] && vars[i][v] {
+				count++
+				only = i
+			}
+		}
+		return
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Reduction 1: remove variables occurring in exactly one edge. Scan
+		// edges in index order and their vars in declared order for a
+		// deterministic trace.
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for _, v := range h.Edges[i].Vars {
+				if !vars[i][v] {
+					continue
+				}
+				if count, only := occurrences(v); count == 1 && only == i {
+					delete(vars[i], v)
+					red.Steps = append(red.Steps, Step{Kind: DeleteVar, Var: v, Edge: i})
+					changed = true
+				}
+			}
+		}
+		// Reduction 2: remove an edge contained in another. When two edges
+		// are equal the higher index is removed, keeping the head edge
+		// (index 0) in play as long as possible.
+		for i := n - 1; i >= 0 && aliveCount > 1; i-- {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if subset(vars[i], vars[j]) {
+					alive[i] = false
+					aliveCount--
+					red.Steps = append(red.Steps, Step{Kind: DeleteEdge, Edge: i, Into: j})
+					red.Tree = append(red.Tree, [2]int{i, j})
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	if aliveCount == 1 {
+		for i := 0; i < n; i++ {
+			if alive[i] {
+				red.Acyclic = len(vars[i]) == 0
+				if red.Acyclic {
+					red.Survivor = i
+				}
+				break
+			}
+		}
+	}
+	return red
+}
+
+func subset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the hypergraph is α-acyclic.
+func (h *Hypergraph) Acyclic() bool { return h.Reduce().Acyclic }
+
+// QualTree is a rooted tree over the hyperedges of an acyclic hypergraph
+// satisfying the qual-tree property of §4.1: any two edges sharing a
+// variable are connected by a path of edges that all contain it. The paper
+// roots the tree at the head edge; directing all edges away from the root
+// yields a greedy information passing strategy (Theorem 4.1).
+type QualTree struct {
+	H        *Hypergraph
+	Root     int
+	Parent   []int // Parent[Root] == -1
+	Children [][]int
+}
+
+// QualTree builds the qual tree rooted at root, or reports ok=false if the
+// hypergraph is cyclic ("cyclic hypergraphs do not have qual trees", §4.1).
+func (h *Hypergraph) QualTree(root int) (*QualTree, bool) {
+	red := h.Reduce()
+	if !red.Acyclic {
+		return nil, false
+	}
+	n := len(h.Edges)
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("hypergraph: qual tree root %d out of range [0,%d)", root, n))
+	}
+	adj := make([][]int, n)
+	for _, te := range red.Tree {
+		adj[te[0]] = append(adj[te[0]], te[1])
+		adj[te[1]] = append(adj[te[1]], te[0])
+	}
+	t := &QualTree{H: h, Root: root, Parent: make([]int, n), Children: make([][]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -2 // unvisited
+	}
+	t.Parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		sort.Ints(adj[u])
+		for _, v := range adj[u] {
+			if t.Parent[v] == -2 {
+				t.Parent[v] = u
+				t.Children[u] = append(t.Children[u], v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i := range t.Parent {
+		if t.Parent[i] == -2 {
+			// Disconnected join forest: can only happen when some edge
+			// shares no variables with the rest; attach it to the root so
+			// the information passing strategy still covers every subgoal.
+			t.Parent[i] = root
+			t.Children[root] = append(t.Children[root], i)
+		}
+	}
+	return t, true
+}
+
+// IsLeaf reports whether edge i has no children.
+func (t *QualTree) IsLeaf(i int) bool { return len(t.Children[i]) == 0 }
+
+// Check verifies the qual-tree property: for any variable and any two
+// hyperedges containing it, every edge on the tree path between them also
+// contains it. It returns the first violating variable, or "" if the
+// property holds.
+func (t *QualTree) Check() string {
+	for _, v := range t.H.Vars() {
+		var holders []int
+		for i, e := range t.H.Edges {
+			if e.Has(v) {
+				holders = append(holders, i)
+			}
+		}
+		if len(holders) <= 1 {
+			continue
+		}
+		// The nodes containing v must form a connected subtree: walk up
+		// from each holder; the sub-walk of holders must meet at a unique
+		// top. Equivalently: at most one holder has a parent that is not a
+		// holder (or is the root of the holder set).
+		holderSet := make(map[int]bool, len(holders))
+		for _, h := range holders {
+			holderSet[h] = true
+		}
+		tops := 0
+		for _, h := range holders {
+			p := t.Parent[h]
+			if p == -1 || !holderSet[p] {
+				tops++
+			}
+		}
+		if tops != 1 {
+			return v
+		}
+	}
+	return ""
+}
+
+// String renders the tree, one node per line, children indented.
+func (t *QualTree) String() string {
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(t.H.Edges[i].String())
+		b.WriteString("\n")
+		for _, c := range t.Children[i] {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// Compose implements the qual-tree composition of Theorem 4.2. tu is the
+// qual tree of rule u, with subgoal edge leaf (a leaf of tu) being resolved
+// against rule w, whose qual tree tw is rooted at w's head edge (the bound
+// variables of w's head). Variables must already be unified: the caller
+// renames w's variables so that shared variables have equal names.
+//
+// The composed tree attaches the neighbors (children) of tw's root to the
+// parent of leaf in tu, removing both the resolved leaf and tw's root, and
+// is returned along with its hypergraph. Theorem 4.2 guarantees the result
+// satisfies the qual-tree property, which tests verify via Check.
+func Compose(tu *QualTree, leaf int, tw *QualTree) (*Hypergraph, *QualTree, error) {
+	if !tu.IsLeaf(leaf) {
+		return nil, nil, fmt.Errorf("hypergraph: compose: edge %d (%s) is not a leaf of the upper qual tree",
+			leaf, tu.H.Edges[leaf].Name)
+	}
+	if leaf == tu.Root {
+		return nil, nil, fmt.Errorf("hypergraph: compose: cannot resolve on the root edge")
+	}
+	nu, nw := len(tu.H.Edges), len(tw.H.Edges)
+	// Index mapping into the composed hypergraph: u-edges except leaf come
+	// first, then w-edges except tw.Root.
+	mapU := make([]int, nu)
+	mapW := make([]int, nw)
+	var edges []Edge
+	for i, e := range tu.H.Edges {
+		if i == leaf {
+			mapU[i] = -1
+			continue
+		}
+		mapU[i] = len(edges)
+		edges = append(edges, e)
+	}
+	for i, e := range tw.H.Edges {
+		if i == tw.Root {
+			mapW[i] = -1
+			continue
+		}
+		mapW[i] = len(edges)
+		edges = append(edges, e)
+	}
+	h := New(edges...)
+	n := len(edges)
+	t := &QualTree{H: h, Root: mapU[tu.Root], Parent: make([]int, n), Children: make([][]int, n)}
+	attach := func(child, parent int) {
+		t.Parent[child] = parent
+		if parent >= 0 {
+			t.Children[parent] = append(t.Children[parent], child)
+		}
+	}
+	for i := range tu.H.Edges {
+		if i == leaf {
+			continue
+		}
+		if i == tu.Root {
+			attach(mapU[i], -1)
+			continue
+		}
+		attach(mapU[i], mapU[tu.Parent[i]])
+	}
+	newParent := mapU[tu.Parent[leaf]]
+	for i := range tw.H.Edges {
+		if i == tw.Root {
+			continue
+		}
+		if tw.Parent[i] == tw.Root {
+			attach(mapW[i], newParent)
+			continue
+		}
+		attach(mapW[i], mapW[tw.Parent[i]])
+	}
+	return h, t, nil
+}

@@ -1,0 +1,368 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's Example 4.1 rules with head binding p(Xᵈ, Zᶠ):
+//
+//	R1: p(X,Z) :- a(X,Y), b(Y,U), c(U,Z).
+//	R2: p(X,Z) :- a(X,Y,V), b(Y,U), c(V,T), d(T), e(U,Z).
+//	R3: p(X,Z) :- a(X,Y,V), b(Y,W,U), c(V,W,T), d(T), e(U,Z).
+//
+// R1 and R2 have the monotone flow property; R3 does not, "because of a
+// cycle involving Y, V, and W" (Fig 4).
+func r1() *Hypergraph {
+	return Evaluation("p", []string{"X"}, []Edge{
+		NewEdge("a", "X", "Y"),
+		NewEdge("b", "Y", "U"),
+		NewEdge("c", "U", "Z"),
+	})
+}
+
+func r2() *Hypergraph {
+	return Evaluation("p", []string{"X"}, []Edge{
+		NewEdge("a", "X", "Y", "V"),
+		NewEdge("b", "Y", "U"),
+		NewEdge("c", "V", "T"),
+		NewEdge("d", "T"),
+		NewEdge("e", "U", "Z"),
+	})
+}
+
+func r3() *Hypergraph {
+	return Evaluation("p", []string{"X"}, []Edge{
+		NewEdge("a", "X", "Y", "V"),
+		NewEdge("b", "Y", "W", "U"),
+		NewEdge("c", "V", "W", "T"),
+		NewEdge("d", "T"),
+		NewEdge("e", "U", "Z"),
+	})
+}
+
+func TestNewEdgeDedup(t *testing.T) {
+	e := NewEdge("x", "A", "B", "A")
+	if len(e.Vars) != 2 {
+		t.Errorf("Vars = %v", e.Vars)
+	}
+	if !e.Has("A") || e.Has("C") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestR1R2AcyclicR3Cyclic(t *testing.T) {
+	if !r1().Acyclic() {
+		t.Error("R1 (Fig 3 family) reported cyclic; paper says monotone flow")
+	}
+	if !r2().Acyclic() {
+		t.Error("R2 (Fig 3) reported cyclic; paper says monotone flow")
+	}
+	if r3().Acyclic() {
+		t.Error("R3 (Fig 4) reported acyclic; paper says the Y,V,W cycle breaks monotone flow")
+	}
+}
+
+func TestReduceTrace(t *testing.T) {
+	red := r2().Reduce()
+	if !red.Acyclic {
+		t.Fatal("R2 not acyclic")
+	}
+	if len(red.Tree) != len(r2().Edges)-1 {
+		t.Errorf("join tree has %d edges, want %d", len(red.Tree), len(r2().Edges)-1)
+	}
+	if len(red.Steps) == 0 {
+		t.Error("no reduction steps recorded")
+	}
+	// Every step must mention a valid edge.
+	for _, s := range red.Steps {
+		if s.Edge < 0 || s.Edge >= len(r2().Edges) {
+			t.Errorf("step %v references bad edge", s)
+		}
+	}
+}
+
+func TestR3IrreducibleCore(t *testing.T) {
+	red := r3().Reduce()
+	if red.Acyclic {
+		t.Fatal("R3 reported acyclic")
+	}
+	if red.Survivor != -1 {
+		t.Error("cyclic reduction has a survivor")
+	}
+	// After exhaustive reduction the a/b/c triangle on {Y,V,W} remains:
+	// fewer than n-1 tree edges were produced.
+	if len(red.Tree) >= len(r3().Edges)-1 {
+		t.Errorf("cyclic hypergraph produced a spanning tree (%d edges)", len(red.Tree))
+	}
+}
+
+// TestQualTreeR2 reproduces Example 4.2: the qual tree for R2 with bindings
+// p(Xᵈ, Zᶠ) is pᵇ — a — {b — e, c — d}.
+func TestQualTreeR2(t *testing.T) {
+	h := r2()
+	qt, ok := h.QualTree(0)
+	if !ok {
+		t.Fatal("R2 has no qual tree")
+	}
+	name := func(i int) string { return h.Edges[i].Name }
+	parentName := func(i int) string {
+		p := qt.Parent[i]
+		if p < 0 {
+			return ""
+		}
+		return name(p)
+	}
+	wantParent := map[string]string{"pᵇ": "", "a": "pᵇ", "b": "a", "c": "a", "d": "c", "e": "b"}
+	for i := range h.Edges {
+		if got := parentName(i); got != wantParent[name(i)] {
+			t.Errorf("parent of %s = %q, want %q\n%s", name(i), got, wantParent[name(i)], qt)
+		}
+	}
+	if v := qt.Check(); v != "" {
+		t.Errorf("qual tree property violated at variable %s", v)
+	}
+}
+
+func TestQualTreeR1Chain(t *testing.T) {
+	h := r1()
+	qt, ok := h.QualTree(0)
+	if !ok {
+		t.Fatal("R1 has no qual tree")
+	}
+	// Chain pᵇ — a — b — c: information "flows from X to Y to U to Z quite
+	// naturally" (Example 4.1).
+	for i := 1; i < 4; i++ {
+		if qt.Parent[i] != i-1 {
+			t.Fatalf("R1 qual tree is not the chain: parent[%d]=%d\n%s", i, qt.Parent[i], qt)
+		}
+	}
+	if v := qt.Check(); v != "" {
+		t.Errorf("qual tree property violated at %s", v)
+	}
+}
+
+func TestQualTreeCyclicFails(t *testing.T) {
+	if _, ok := r3().QualTree(0); ok {
+		t.Error("cyclic hypergraph produced a qual tree")
+	}
+}
+
+func TestQualTreeDisconnected(t *testing.T) {
+	// A subgoal sharing no variables still gets attached (cross product).
+	h := Evaluation("p", []string{"X"}, []Edge{
+		NewEdge("a", "X", "Y"),
+		NewEdge("iso", "Q"),
+	})
+	qt, ok := h.QualTree(0)
+	if !ok {
+		t.Fatal("disconnected acyclic hypergraph rejected")
+	}
+	if qt.Parent[2] == -2 {
+		t.Error("isolated edge left unattached")
+	}
+	if v := qt.Check(); v != "" {
+		t.Errorf("qual tree property violated at %s", v)
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if !New().Acyclic() {
+		t.Error("empty hypergraph not acyclic")
+	}
+	one := New(NewEdge("a", "X", "Y"))
+	if !one.Acyclic() {
+		t.Error("single edge not acyclic")
+	}
+	qt, ok := one.QualTree(0)
+	if !ok || qt.Root != 0 {
+		t.Error("single-edge qual tree wrong")
+	}
+}
+
+// TestComposeFig5 reproduces Figure 5: resolving leaf p of the upper tree
+// (rᵇ — q — {s, p}) against a rule with tree pᵇ — {a, b} attaches a and b
+// under q.
+func TestComposeFig5(t *testing.T) {
+	hu := Evaluation("r", []string{"X"}, []Edge{
+		NewEdge("q", "X", "Y"),
+		NewEdge("s", "Y"),
+		NewEdge("p", "Y", "Z"),
+	})
+	tu, ok := hu.QualTree(0)
+	if !ok {
+		t.Fatal("upper tree cyclic")
+	}
+	if tu.Parent[3] != 1 || !tu.IsLeaf(3) {
+		t.Fatalf("p is not a leaf under q:\n%s", tu)
+	}
+	// Rule for p(Yᵈ, Zᶠ): p(Y,Z) :- a(Y,W), b(W,Z). Variables already
+	// unified with the upper rule's names.
+	hw := Evaluation("p", []string{"Y"}, []Edge{
+		NewEdge("a", "Y", "W"),
+		NewEdge("b", "W", "Z"),
+	})
+	tw, ok := hw.QualTree(0)
+	if !ok {
+		t.Fatal("lower tree cyclic")
+	}
+	hc, tc, err := Compose(tu, 3, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hc.Edges) != 5 { // rᵇ, q, s, a, b
+		t.Fatalf("composed hypergraph has %d edges, want 5", len(hc.Edges))
+	}
+	if v := tc.Check(); v != "" {
+		t.Errorf("Theorem 4.2 violated: composed tree fails qual property at %s\n%s", v, tc)
+	}
+	// a must hang under q (the parent of the resolved leaf).
+	names := map[string]int{}
+	for i, e := range hc.Edges {
+		names[e.Name] = i
+	}
+	if tc.Parent[names["a"]] != names["q"] {
+		t.Errorf("a's parent is %s, want q", hc.Edges[tc.Parent[names["a"]]].Name)
+	}
+	if tc.Parent[names["b"]] != names["a"] {
+		t.Errorf("b's parent is %s, want a", hc.Edges[tc.Parent[names["b"]]].Name)
+	}
+	if tc.Root != names["rᵇ"] {
+		t.Errorf("composed root is %s", hc.Edges[tc.Root].Name)
+	}
+}
+
+func TestComposeRejectsNonLeaf(t *testing.T) {
+	hu := Evaluation("r", []string{"X"}, []Edge{
+		NewEdge("q", "X", "Y"),
+		NewEdge("p", "Y", "Z"),
+	})
+	tu, _ := hu.QualTree(0)
+	hw := Evaluation("p", []string{"Y"}, []Edge{NewEdge("a", "Y", "Z")})
+	tw, _ := hw.QualTree(0)
+	if _, _, err := Compose(tu, 1, tw); err == nil && !tu.IsLeaf(1) {
+		t.Error("Compose accepted a non-leaf")
+	}
+	if _, _, err := Compose(tu, tu.Root, tw); err == nil {
+		t.Error("Compose accepted the root")
+	}
+}
+
+// randomAcyclicHypergraph builds a hypergraph that is acyclic by
+// construction: grow a tree of edges where each new edge shares a random
+// subset of exactly one existing edge's variables plus fresh variables.
+func randomAcyclicHypergraph(rng *rand.Rand) *Hypergraph {
+	varCount := 0
+	freshVar := func() string {
+		varCount++
+		return "v" + string(rune('0'+varCount/10)) + string(rune('0'+varCount%10))
+	}
+	n := 2 + rng.Intn(6)
+	edges := []Edge{NewEdge("e0", freshVar(), freshVar())}
+	for i := 1; i < n; i++ {
+		parent := edges[rng.Intn(len(edges))]
+		var vars []string
+		for _, v := range parent.Vars {
+			if rng.Intn(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		extra := 1 + rng.Intn(2)
+		for j := 0; j < extra; j++ {
+			vars = append(vars, freshVar())
+		}
+		edges = append(edges, NewEdge("e"+string(rune('0'+i)), vars...))
+	}
+	return New(edges...)
+}
+
+func TestQuickTreeHypergraphsAreAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		h := randomAcyclicHypergraph(rng)
+		red := h.Reduce()
+		if !red.Acyclic {
+			t.Fatalf("tree-constructed hypergraph reported cyclic: %v", h.Edges)
+		}
+		qt, ok := h.QualTree(rng.Intn(len(h.Edges)))
+		if !ok {
+			t.Fatalf("no qual tree for acyclic hypergraph: %v", h.Edges)
+		}
+		if v := qt.Check(); v != "" {
+			t.Fatalf("qual tree property violated at %s for %v", v, h.Edges)
+		}
+	}
+}
+
+func TestQuickTrianglesAreCyclic(t *testing.T) {
+	// A pure triangle {AB, BC, CA} plus random tree growth stays cyclic.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		edges := []Edge{
+			NewEdge("t1", "A", "B"),
+			NewEdge("t2", "B", "C"),
+			NewEdge("t3", "C", "A"),
+		}
+		for j := 0; j < rng.Intn(4); j++ {
+			base := edges[rng.Intn(len(edges))]
+			v := base.Vars[rng.Intn(len(base.Vars))]
+			edges = append(edges, NewEdge("x"+string(rune('0'+j)), v, "W"+string(rune('0'+j))))
+		}
+		if New(edges...).Acyclic() {
+			t.Fatalf("triangle-containing hypergraph reported acyclic: %v", edges)
+		}
+	}
+}
+
+func TestQuickComposePreservesQualProperty(t *testing.T) {
+	// Theorem 4.2 as a property: compose random tree-built qual trees at a
+	// random leaf whose free variables we rename into the lower tree.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		hu := randomAcyclicHypergraph(rng)
+		tu, ok := hu.QualTree(0)
+		if !ok {
+			continue
+		}
+		leaf := -1
+		for j := range hu.Edges {
+			if j != tu.Root && tu.IsLeaf(j) {
+				leaf = j
+				break
+			}
+		}
+		if leaf < 0 {
+			continue
+		}
+		// Lower rule head bound vars = vars the leaf shares with its
+		// parent (they are bound when the leaf is requested); the leaf's
+		// other vars appear in the lower tree as free head outputs.
+		parent := tu.Parent[leaf]
+		var bound, free []string
+		for _, v := range hu.Edges[leaf].Vars {
+			if hu.Edges[parent].Has(v) {
+				bound = append(bound, v)
+			} else {
+				free = append(free, v)
+			}
+		}
+		// Lower tree: pᵇ{bound} — g1{bound ∪ free ∪ {M}} — g2{M, N}.
+		all := append(append([]string{}, bound...), free...)
+		hw := Evaluation("p", bound, []Edge{
+			NewEdge("g1", append(all, "MID")...),
+			NewEdge("g2", "MID", "NEW"),
+		})
+		tw, ok := hw.QualTree(0)
+		if !ok {
+			t.Fatalf("lower hypergraph cyclic: %v", hw.Edges)
+		}
+		_, tc, err := Compose(tu, leaf, tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := tc.Check(); v != "" {
+			t.Fatalf("Theorem 4.2 violated at %s\nupper: %v\nleaf: %d\nlower: %v",
+				v, hu.Edges, leaf, hw.Edges)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package magic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bottomup"
+	"repro/internal/edb"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+func check(t *testing.T, src string) (*bottomup.Result, *bottomup.Result) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	magicRes, rw, db, err := Evaluate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bottomup.SemiNaive(prog, edb.FromProgram(parser.MustParse(src)))
+	if magicRes.Goal.Len() != plain.Goal.Len() {
+		t.Fatalf("magic answers %d != plain %d\nrewritten:\n%s",
+			magicRes.Goal.Len(), plain.Goal.Len(), rw.Program)
+	}
+	// Same symbol table? magic db == original db instance, plain uses a
+	// fresh one; compare rendered sets via each table.
+	render := func(r *relation.Relation, d *edb.Database) string {
+		s := ""
+		for _, row := range r.Sorted() {
+			s += row.String(d.Syms) + " "
+		}
+		return s
+	}
+	if got, want := render(magicRes.Goal, db), render(plain.Goal, edb.FromProgram(parser.MustParse(src))); got != want {
+		t.Fatalf("magic answers %s != plain %s", got, want)
+	}
+	return magicRes, plain
+}
+
+func TestMagicTC(t *testing.T) {
+	m, p := check(t, `
+		edge(a, b). edge(b, c). edge(c, d). edge(x, y). edge(y, z0).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(a, Y).
+	`)
+	// Restriction: magic must compute fewer path tuples than the full
+	// model (the x/y/z0 component is irrelevant).
+	if m.ModelSize >= p.ModelSize {
+		t.Errorf("magic model %d ≥ plain model %d: no restriction", m.ModelSize, p.ModelSize)
+	}
+}
+
+func TestMagicP1(t *testing.T) {
+	check(t, `
+		r(a, b). r(b, c). r(c, d). q(b, b). q(c, b). q(d, c).
+		p(X, Y) :- p(X, U), q(U, V), p(V, Y).
+		p(X, Y) :- r(X, Y).
+		goal(Z) :- p(a, Z).
+	`)
+}
+
+func TestMagicSameGeneration(t *testing.T) {
+	check(t, `
+		par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1). par(c3, p2).
+		sg(X, Y) :- par(X, P), par(Y, P).
+		sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+		goal(Y) :- sg(c1, Y).
+	`)
+}
+
+func TestMagicAllFreeQuery(t *testing.T) {
+	check(t, `
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(X, Y) :- path(X, Y).
+	`)
+}
+
+func TestMagicGroundQuery(t *testing.T) {
+	check(t, `
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal :- path(a, c).
+	`)
+}
+
+func TestMagicMutualRecursion(t *testing.T) {
+	check(t, `
+		e(a, b). e(b, c). e(c, d).
+		odd(X, Y) :- e(X, Y).
+		odd(X, Y) :- even(X, U), e(U, Y).
+		even(X, Y) :- odd(X, U), e(U, Y).
+		goal(Y) :- even(a, Y).
+	`)
+}
+
+func TestMagicConstantHead(t *testing.T) {
+	check(t, `
+		f(one). g(two).
+		p(a, Y) :- f(Y).
+		p(b, Y) :- g(Y).
+		goal(Y) :- p(a, Y).
+	`)
+}
+
+func TestRewriteShape(t *testing.T) {
+	prog := parser.MustParse(`
+		edge(a, b).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(a, Y).
+	`)
+	rw, err := Rewrite(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rw.Program.String()
+	for _, want := range []string{"magic@goal@f", "path@bf", "magic@path@bf"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rewritten program missing %q:\n%s", want, text)
+		}
+	}
+	if rw.AdornedPreds < 2 { // goal@f, path@bf
+		t.Errorf("AdornedPreds = %d", rw.AdornedPreds)
+	}
+	if rw.MagicRules == 0 {
+		t.Error("no magic rules generated")
+	}
+	if !strings.Contains(rw.String(), "magic:") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestMagicRestrictionScales(t *testing.T) {
+	// Long chain + big irrelevant clique: magic path tuples ≈ chain only.
+	src := ""
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf("edge(a%d, a%d).\n", i, i+1)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if i != j {
+				src += fmt.Sprintf("edge(b%d, b%d).\n", i, j)
+			}
+		}
+	}
+	src += `
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(Y) :- path(a0, Y).
+	`
+	m, p := check(t, src)
+	if m.ModelSize*4 > p.ModelSize {
+		t.Errorf("magic model %d not ≪ plain model %d", m.ModelSize, p.ModelSize)
+	}
+}
+
+func TestRewriteRejectsInvalid(t *testing.T) {
+	prog := parser.MustParse(`edge(a,b). path(X, Y) :- edge(X, Y).`)
+	if _, err := Rewrite(prog, nil); err == nil {
+		t.Error("Rewrite accepted a program with no query")
+	}
+}

@@ -1,0 +1,108 @@
+// Package msg defines the message vocabulary of §3: the basic messages that
+// drive the computation (relation request, tuple request, tuple, end) and
+// the additional protocol that detects distributed termination of cycles
+// (end request, end negative, end confirmed). Two further kinds complete
+// the implementation: ReqEnd, a downward "no more tuple requests" marker
+// that lets non-recursive completion cascade (the paper leaves this
+// bookkeeping implicit), and Nudge, a hint to a component's BFST leader
+// that local quiescence was reached (a liveness guard; see DESIGN.md).
+//
+// Messages are plain data with no pointers into engine state, so the same
+// values travel over in-process mailboxes and the TCP transport unchanged.
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/symtab"
+)
+
+// Kind enumerates the message types.
+type Kind uint8
+
+const (
+	// RelReq "triggers the beginning of computation and identifies the
+	// classes of the arguments" (§3.1). It flows against the arc
+	// orientation, from customer to feeder.
+	RelReq Kind = iota
+	// TupReq "specifies one binding for all of the d arguments" (§3.1).
+	// Vals holds the values of the d positions in position order.
+	TupReq
+	// Tuple carries one derived tuple to a successor. Vals holds the
+	// values of the carried (non-existential) positions in position order.
+	Tuple
+	// End notifies a customer that requested results are complete. N is a
+	// watermark: the first N tuple requests this feeder received from the
+	// customer are fully serviced (every answer tuple was sent before the
+	// End). All additionally marks the entire relation request complete;
+	// it is sent once the customer has issued ReqEnd.
+	End
+	// ReqEnd tells a feeder that its customer will issue no more tuple
+	// requests for the current relation request.
+	ReqEnd
+	// EndReq is the §3.2 protocol probe, propagated from the BFST leader
+	// through the breadth-first spanning tree of a strong component.
+	EndReq
+	// EndNeg answers an EndReq negatively: some node in the subtree was
+	// not idle for the full period between two end requests.
+	EndNeg
+	// EndConf answers an EndReq positively: every node in the subtree has
+	// been idle between the two most recent end requests.
+	EndConf
+	// Nudge tells a component's leader that a member just drained its
+	// queue, so a protocol round may now succeed.
+	Nudge
+	// Shutdown stops a node process; broadcast by the driver once the
+	// query answer is complete.
+	Shutdown
+)
+
+var kindNames = [...]string{
+	"relreq", "tupreq", "tuple", "end", "reqend",
+	"endreq", "endneg", "endconf", "nudge", "shutdown",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is one unit of communication between node processes. From and To
+// are rule/goal graph node ids; the driver (the user process that issues
+// the top-level request and collects answers) uses the id one past the
+// last graph node.
+type Message struct {
+	Kind Kind
+	From int
+	To   int
+	// Vals carries d-argument bindings (TupReq) or carried-position values
+	// (Tuple). A batched tuple request (footnote 2's "packaged" requests)
+	// concatenates Count bindings.
+	Vals []symtab.Sym
+	// Count is the number of bindings in a batched TupReq; zero or one
+	// means a single binding.
+	Count int
+	// N is the End watermark: how many of the customer's tuple-request
+	// bindings are fully serviced.
+	N int
+	// All marks an End as final for the whole relation request.
+	All bool
+	// Round numbers termination-protocol rounds within one leader's run.
+	Round int
+}
+
+// String renders the message for traces and test failures.
+func (m Message) String() string {
+	switch m.Kind {
+	case Tuple, TupReq:
+		return fmt.Sprintf("%s %d→%d %v", m.Kind, m.From, m.To, m.Vals)
+	case End:
+		return fmt.Sprintf("end %d→%d n=%d all=%v", m.From, m.To, m.N, m.All)
+	case EndReq, EndNeg, EndConf:
+		return fmt.Sprintf("%s %d→%d round=%d", m.Kind, m.From, m.To, m.Round)
+	default:
+		return fmt.Sprintf("%s %d→%d", m.Kind, m.From, m.To)
+	}
+}

@@ -1,0 +1,45 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		RelReq: "relreq", TupReq: "tupreq", Tuple: "tuple", End: "end",
+		ReqEnd: "reqend", EndReq: "endreq", EndNeg: "endneg",
+		EndConf: "endconf", Nudge: "nudge", Shutdown: "shutdown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind String not diagnostic")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want []string
+	}{
+		{Message{Kind: Tuple, From: 1, To: 2, Vals: []symtab.Sym{3, 4}}, []string{"tuple", "1→2", "[3 4]"}},
+		{Message{Kind: TupReq, From: 0, To: 9, Vals: []symtab.Sym{7}}, []string{"tupreq", "0→9"}},
+		{Message{Kind: End, From: 5, To: 6, N: 3, All: true}, []string{"end", "n=3", "all=true"}},
+		{Message{Kind: EndReq, From: 1, To: 2, Round: 4}, []string{"endreq", "round=4"}},
+		{Message{Kind: Shutdown, From: 0, To: 1}, []string{"shutdown", "0→1"}},
+	}
+	for _, c := range cases {
+		s := c.m.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%v.String() = %q, missing %q", c.m.Kind, s, w)
+			}
+		}
+	}
+}

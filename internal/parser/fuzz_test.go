@@ -1,0 +1,35 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// round-trips: the rendered program parses again to an identical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"p(X, Y) :- q(X, Z), r(Z, Y).",
+		"?- p(a, Y).",
+		"goal :- wet, cold.",
+		"% comment\np(a). /* block */ q(b).",
+		"p('quoted atom', \"two words\", -42, _V).",
+		"p(X,Y)<-q(Y,X).",
+		"p((", ":-", "?-.", "p(a,).", "'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := prog.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse: %v\noriginal: %q\nrendered: %q", err, src, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip unstable:\n%q\nvs\n%q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package parser turns Prolog-style Datalog source text into an
+// ast.Program. The grammar covers exactly the language of the paper's §1:
+// ground facts (the EDB), function-free Horn rules (the IDB), and query
+// rules for the distinguished predicate "goal". A `?- body.` form is
+// accepted as sugar for a goal rule.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokIdent             // lowercase-initial identifier or quoted atom: constants and predicate names
+	tokVar               // uppercase- or underscore-initial identifier: variables
+	tokNumber            // integer constant
+	tokLParen            // (
+	tokRParen            // )
+	tokComma             // ,
+	tokPeriod            // .
+	tokImplies           // :- or <-
+	tokQuery             // ?-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind   tokenKind
+	text   string
+	quoted bool // tokIdent produced by a quoted constant
+	line   int
+	col    int
+}
+
+// Error is a parse or lex error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipSpace consumes whitespace, % line comments, and /* */ block comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		switch {
+		case unicode.IsSpace(l.peek()):
+			l.advance()
+		case l.peek() == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case l.peek() == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '.':
+		l.advance()
+		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, &Error{Line: line, Col: col, Msg: "expected '-' after ':'"}
+		}
+		l.advance()
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case r == '<':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, &Error{Line: line, Col: col, Msg: "expected '-' after '<'"}
+		}
+		l.advance()
+		return token{kind: tokImplies, text: "<-", line: line, col: col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, &Error{Line: line, Col: col, Msg: "expected '-' after '?'"}
+		}
+		l.advance()
+		return token{kind: tokQuery, text: "?-", line: line, col: col}, nil
+	case r == '\'' || r == '"':
+		quote := l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) || l.peek() == '\n' {
+				return token{}, &Error{Line: line, Col: col, Msg: "unterminated quoted constant"}
+			}
+			c := l.advance()
+			if c == quote {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokIdent, text: b.String(), quoted: true, line: line, col: col}, nil
+	case unicode.IsDigit(r) || (r == '-' && unicode.IsDigit(l.peek2())):
+		var b strings.Builder
+		if r == '-' {
+			b.WriteRune(l.advance())
+		}
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), line: line, col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		first := []rune(text)[0]
+		if unicode.IsUpper(first) || first == '_' {
+			return token{kind: tokVar, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	default:
+		return token{}, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}

@@ -1,0 +1,207 @@
+package parser
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+)
+
+// Parse parses Datalog source text into a program. Ground clauses with no
+// body become EDB facts; everything else becomes a rule. `?- body.` is sugar
+// for `goal(V1, ..., Vk) :- body.` where V1..Vk are the distinct variables
+// of the body in first-occurrence order.
+//
+// Parse performs only syntactic checks; use (*ast.Program).Validate for the
+// semantic well-formedness conditions of §1.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.step(); err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.tok.kind != tokEOF {
+		if err := p.clause(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// ParseFile reads and parses the named file.
+func ParseFile(path string) (*ast.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("parser: %w", err)
+	}
+	prog, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("parser: %s: %w", path, err)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. It is intended for tests,
+// examples, and embedded programs known to be well formed.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) step() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, &Error{
+			Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected %s, found %s %q", kind, p.tok.kind, p.tok.text),
+		}
+	}
+	t := p.tok
+	return t, p.step()
+}
+
+// clause parses one fact, rule, or query and appends it to prog.
+func (p *parser) clause(prog *ast.Program) error {
+	if p.tok.kind == tokQuery {
+		if err := p.step(); err != nil {
+			return err
+		}
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		head := ast.Atom{Pred: ast.GoalPred}
+		seen := make(map[string]bool)
+		for _, a := range body {
+			for _, t := range a.Args {
+				if t.IsVar() && !seen[t.Var] {
+					seen[t.Var] = true
+					head.Args = append(head.Args, t)
+				}
+			}
+		}
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+		return nil
+	}
+
+	head, err := p.atom()
+	if err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokPeriod:
+		if err := p.step(); err != nil {
+			return err
+		}
+		if head.IsGround() {
+			prog.Facts = append(prog.Facts, head)
+			return nil
+		}
+		return &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("fact %s contains variables; only ground facts are allowed", head)}
+	case tokImplies:
+		if err := p.step(); err != nil {
+			return err
+		}
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+		return nil
+	default:
+		return &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected '.' or ':-' after %s, found %q", head, p.tok.text)}
+	}
+}
+
+func (p *parser) body() ([]ast.Atom, error) {
+	var out []ast.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.tok.kind != tokComma {
+			return out, nil
+		}
+		if err := p.step(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if name.quoted {
+		return ast.Atom{}, &Error{Line: name.line, Col: name.col,
+			Msg: "a quoted constant cannot be a predicate name"}
+	}
+	a := ast.Atom{Pred: name.text}
+	if p.tok.kind != tokLParen {
+		return a, nil // propositional atom
+	}
+	if err := p.step(); err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind == tokRParen {
+		return ast.Atom{}, &Error{Line: p.tok.line, Col: p.tok.col, Msg: "empty argument list; omit the parentheses instead"}
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.step(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return ast.Atom{}, err
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		t := ast.V(p.tok.text)
+		return t, p.step()
+	case tokIdent, tokNumber:
+		t := ast.C(p.tok.text)
+		return t, p.step()
+	default:
+		return ast.Term{}, &Error{Line: p.tok.line, Col: p.tok.col,
+			Msg: fmt.Sprintf("expected a term, found %s %q", p.tok.kind, p.tok.text)}
+	}
+}

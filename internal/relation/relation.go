@@ -1,0 +1,364 @@
+// Package relation is the relational-algebra substrate: set-semantics
+// relations over interned symbols, with hash indexes and the operators the
+// paper's node processes need — selection, projection, join, semijoin, and
+// union (§2.2: "rule nodes combine their subgoal relations using join,
+// select, and project; predicate nodes compute the union of the relations
+// computed by their children").
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/symtab"
+)
+
+// Tuple is a fixed-arity row of interned constants.
+type Tuple []symtab.Sym
+
+// Key encodes the tuple as a string usable as a map key. Symbols are 32-bit,
+// so four bytes per column give a collision-free encoding.
+func (t Tuple) Key() string {
+	b := make([]byte, 4*len(t))
+	for i, s := range t {
+		b[4*i] = byte(s)
+		b[4*i+1] = byte(s >> 8)
+		b[4*i+2] = byte(s >> 16)
+		b[4*i+3] = byte(s >> 24)
+	}
+	return string(b)
+}
+
+// Equal reports column-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple's symbols through the table.
+func (t Tuple) String(tab *symtab.Table) string {
+	parts := make([]string, len(t))
+	for i, s := range t {
+		parts[i] = tab.String(s)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a mutable set of same-arity tuples. Insertion order is
+// preserved for deterministic iteration; membership is O(1). Hash indexes on
+// individual columns are built lazily and maintained incrementally.
+//
+// A Relation is not safe for concurrent mutation; in the engine each node
+// process owns its relations exclusively, exactly as the paper's
+// no-shared-memory regime prescribes.
+type Relation struct {
+	arity   int
+	rows    []Tuple
+	set     map[string]struct{}
+	indexes map[int]map[symtab.Sym][]int // column → value → row ordinals
+}
+
+// New returns an empty relation of the given arity. Arity zero is legal and
+// models propositional (boolean) predicates: the empty tuple is its only
+// possible member.
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic(fmt.Sprintf("relation: negative arity %d", arity))
+	}
+	return &Relation{arity: arity, set: make(map[string]struct{})}
+}
+
+// FromTuples builds a relation of the given arity from tuples, discarding
+// duplicates.
+func FromTuples(arity int, tuples []Tuple) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds the tuple and reports whether it was new. The relation keeps
+// its own copy of the tuple.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, dup := r.set[k]; dup {
+		return false
+	}
+	r.set[k] = struct{}{}
+	row := t.Clone()
+	r.rows = append(r.rows, row)
+	for col, idx := range r.indexes {
+		idx[row[col]] = append(idx[row[col]], len(r.rows)-1)
+	}
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.set[t.Key()]
+	return ok
+}
+
+// Rows returns the stored tuples in insertion order. The slice and its
+// tuples are owned by the relation; callers must not mutate them.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// index returns (building if needed) the hash index on column col.
+func (r *Relation) index(col int) map[symtab.Sym][]int {
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[symtab.Sym][]int)
+	}
+	idx, ok := r.indexes[col]
+	if !ok {
+		idx = make(map[symtab.Sym][]int)
+		for i, row := range r.rows {
+			idx[row[col]] = append(idx[row[col]], i)
+		}
+		r.indexes[col] = idx
+	}
+	return idx
+}
+
+// Distinct reports the number of distinct values in column col, building
+// the column's hash index if needed (so concurrent readers should call this
+// during planning, not evaluation).
+func (r *Relation) Distinct(col int) int {
+	if r.Len() == 0 {
+		return 0
+	}
+	return len(r.index(col))
+}
+
+// BuildIndex forces construction of the hash index on column col. Indexes
+// are otherwise built lazily on first use, which mutates the relation; code
+// that will read a relation from several goroutines warms its indexes first.
+func (r *Relation) BuildIndex(col int) {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation: BuildIndex column %d out of range for arity %d", col, r.arity))
+	}
+	r.index(col)
+}
+
+// Binding is a partial assignment of values to columns; NoSym entries are
+// unconstrained. It is the relational form of a tuple request: "each tuple
+// request message specifies one binding for all of the 'd' arguments" (§3.1).
+type Binding []symtab.Sym
+
+// Matches reports whether the tuple agrees with every bound column.
+func (b Binding) Matches(t Tuple) bool {
+	for i, v := range b {
+		if v != symtab.NoSym && t[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the tuples matching the binding, using a column index when
+// at least one column is bound. The returned tuples are owned by r.
+func (r *Relation) Select(b Binding) []Tuple {
+	if len(b) != r.arity {
+		panic(fmt.Sprintf("relation: select binding arity %d on arity-%d relation", len(b), r.arity))
+	}
+	col := -1
+	for i, v := range b {
+		if v != symtab.NoSym {
+			col = i
+			break
+		}
+	}
+	var out []Tuple
+	if col < 0 {
+		return r.rows
+	}
+	for _, i := range r.index(col)[b[col]] {
+		if b.Matches(r.rows[i]) {
+			out = append(out, r.rows[i])
+		}
+	}
+	return out
+}
+
+// Project returns a new relation containing each row restricted to cols, in
+// order, with duplicates removed. Column repetition is allowed.
+func (r *Relation) Project(cols []int) *Relation {
+	out := New(len(cols))
+	buf := make(Tuple, len(cols))
+	for _, row := range r.rows {
+		for i, c := range cols {
+			buf[i] = row[c]
+		}
+		out.Insert(buf)
+	}
+	return out
+}
+
+// Union inserts all tuples of s into r and reports how many were new.
+func (r *Relation) Union(s *Relation) int {
+	if s.arity != r.arity {
+		panic(fmt.Sprintf("relation: union of arity %d with arity %d", r.arity, s.arity))
+	}
+	added := 0
+	for _, t := range s.rows {
+		if r.Insert(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// EqPair names one equality constraint of a join: left column L must equal
+// right column R.
+type EqPair struct{ L, R int }
+
+// Join computes the equijoin of r and s on the given column pairs. The
+// result schema is r's columns followed by s's columns. With no pairs it is
+// the cross product. The smaller operand's first join column is hash-indexed.
+func Join(r, s *Relation, on []EqPair) *Relation {
+	out := New(r.arity + s.arity)
+	if r.Len() == 0 || s.Len() == 0 {
+		return out
+	}
+	buf := make(Tuple, r.arity+s.arity)
+	emit := func(a, b Tuple) {
+		copy(buf, a)
+		copy(buf[r.arity:], b)
+		out.Insert(buf)
+	}
+	if len(on) == 0 {
+		for _, a := range r.rows {
+			for _, b := range s.rows {
+				emit(a, b)
+			}
+		}
+		return out
+	}
+	// Probe the right side through an index on its first join column.
+	idx := s.index(on[0].R)
+	for _, a := range r.rows {
+		for _, j := range idx[a[on[0].L]] {
+			b := s.rows[j]
+			ok := true
+			for _, p := range on[1:] {
+				if a[p.L] != b[p.R] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				emit(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the tuples of r that join with at least one tuple of s
+// on the given pairs. This is the operation a class "d" argument performs:
+// it "functions as a semi-join operand" restricting the computed part of an
+// intermediate relation (§1.2).
+func SemiJoin(r, s *Relation, on []EqPair) *Relation {
+	out := New(r.arity)
+	if len(on) == 0 {
+		if s.Len() > 0 {
+			out.Union(r)
+		}
+		return out
+	}
+	idx := s.index(on[0].R)
+	for _, a := range r.rows {
+	probe:
+		for _, j := range idx[a[on[0].L]] {
+			b := s.rows[j]
+			for _, p := range on[1:] {
+				if a[p.L] != b[p.R] {
+					continue probe
+				}
+			}
+			out.Insert(a)
+			break
+		}
+	}
+	return out
+}
+
+// Difference returns the tuples of r not present in s.
+func Difference(r, s *Relation) *Relation {
+	if s.arity != r.arity {
+		panic(fmt.Sprintf("relation: difference of arity %d with arity %d", r.arity, s.arity))
+	}
+	out := New(r.arity)
+	for _, t := range r.rows {
+		if !s.Contains(t) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// Equal reports whether r and s contain exactly the same tuples.
+func Equal(r, s *Relation) bool {
+	if r.arity != s.arity || r.Len() != s.Len() {
+		return false
+	}
+	for _, t := range r.rows {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the tuples in lexicographic symbol-id order, for
+// deterministic output.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation's tuples, sorted, through the table.
+func (r *Relation) String(tab *symtab.Table) string {
+	rows := r.Sorted()
+	parts := make([]string, len(rows))
+	for i, t := range rows {
+		parts[i] = t.String(tab)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

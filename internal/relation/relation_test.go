@@ -1,0 +1,326 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symtab"
+)
+
+func tup(vals ...symtab.Sym) Tuple { return Tuple(vals) }
+
+func TestInsertDedup(t *testing.T) {
+	r := New(2)
+	if !r.Insert(tup(1, 2)) {
+		t.Error("first insert reported duplicate")
+	}
+	if r.Insert(tup(1, 2)) {
+		t.Error("duplicate insert reported new")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if !r.Contains(tup(1, 2)) || r.Contains(tup(2, 1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	r := New(2)
+	buf := tup(1, 2)
+	r.Insert(buf)
+	buf[0] = 99
+	if !r.Contains(tup(1, 2)) {
+		t.Error("relation retained caller's buffer instead of copying")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Symbols that collide byte-wise under naive encodings.
+	pairs := [][2]Tuple{
+		{tup(1, 0), tup(0, 1)},
+		{tup(256), tup(1)},
+		{tup(0x01020304), tup(0x04030201)},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("Key collision between %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestZeroArity(t *testing.T) {
+	r := New(0)
+	if r.Len() != 0 {
+		t.Error("empty 0-ary relation has members")
+	}
+	if !r.Insert(Tuple{}) {
+		t.Error("inserting empty tuple failed")
+	}
+	if r.Insert(Tuple{}) {
+		t.Error("empty tuple inserted twice")
+	}
+	if !r.Contains(Tuple{}) {
+		t.Error("Contains(empty) = false")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := FromTuples(3, []Tuple{{1, 2, 3}, {1, 5, 3}, {2, 2, 3}, {1, 2, 9}})
+	got := r.Select(Binding{1, symtab.NoSym, 3})
+	if len(got) != 2 {
+		t.Fatalf("Select returned %d rows, want 2", len(got))
+	}
+	for _, row := range got {
+		if row[0] != 1 || row[2] != 3 {
+			t.Errorf("Select returned non-matching row %v", row)
+		}
+	}
+	if all := r.Select(Binding{0, 0, 0}); len(all) != 4 {
+		t.Errorf("unbound Select returned %d rows, want 4", len(all))
+	}
+	if none := r.Select(Binding{9, 0, 0}); len(none) != 0 {
+		t.Errorf("Select on absent value returned %d rows", len(none))
+	}
+}
+
+func TestSelectAfterInsert(t *testing.T) {
+	// Index maintenance: build index, then insert more rows.
+	r := New(2)
+	r.Insert(tup(1, 1))
+	if n := len(r.Select(Binding{1, 0})); n != 1 {
+		t.Fatalf("initial select = %d", n)
+	}
+	r.Insert(tup(1, 2))
+	if n := len(r.Select(Binding{1, 0})); n != 2 {
+		t.Fatalf("select after insert = %d rows, want 2 (index stale)", n)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := FromTuples(3, []Tuple{{1, 2, 3}, {1, 2, 4}, {5, 2, 3}})
+	p := r.Project([]int{0, 1})
+	if p.Len() != 2 {
+		t.Errorf("projection has %d tuples, want 2 (dedup)", p.Len())
+	}
+	if !p.Contains(tup(1, 2)) || !p.Contains(tup(5, 2)) {
+		t.Error("projection missing tuples")
+	}
+	rep := r.Project([]int{2, 2})
+	if !rep.Contains(tup(3, 3)) {
+		t.Error("repeated-column projection wrong")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	r := FromTuples(1, []Tuple{{1}, {2}})
+	s := FromTuples(1, []Tuple{{2}, {3}})
+	if added := r.Union(s); added != 1 {
+		t.Errorf("Union added %d, want 1", added)
+	}
+	if r.Len() != 3 {
+		t.Errorf("after union Len = %d", r.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	r := FromTuples(2, []Tuple{{1, 2}, {3, 4}})
+	s := FromTuples(2, []Tuple{{2, 9}, {2, 8}, {4, 7}, {5, 6}})
+	j := Join(r, s, []EqPair{{L: 1, R: 0}})
+	if j.Arity() != 4 {
+		t.Fatalf("join arity = %d", j.Arity())
+	}
+	want := []Tuple{{1, 2, 2, 9}, {1, 2, 2, 8}, {3, 4, 4, 7}}
+	if j.Len() != len(want) {
+		t.Fatalf("join has %d tuples, want %d: %v", j.Len(), len(want), j.Rows())
+	}
+	for _, w := range want {
+		if !j.Contains(w) {
+			t.Errorf("join missing %v", w)
+		}
+	}
+}
+
+func TestJoinMultiPair(t *testing.T) {
+	r := FromTuples(2, []Tuple{{1, 2}, {1, 3}})
+	s := FromTuples(2, []Tuple{{1, 2}, {1, 9}})
+	j := Join(r, s, []EqPair{{0, 0}, {1, 1}})
+	if j.Len() != 1 || !j.Contains(tup(1, 2, 1, 2)) {
+		t.Errorf("multi-pair join = %v", j.Rows())
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	r := FromTuples(1, []Tuple{{1}, {2}})
+	s := FromTuples(1, []Tuple{{3}, {4}})
+	j := Join(r, s, nil)
+	if j.Len() != 4 {
+		t.Errorf("cross product = %d tuples, want 4", j.Len())
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	r := FromTuples(1, []Tuple{{1}})
+	if Join(r, New(1), []EqPair{{0, 0}}).Len() != 0 {
+		t.Error("join with empty right not empty")
+	}
+	if Join(New(1), r, []EqPair{{0, 0}}).Len() != 0 {
+		t.Error("join with empty left not empty")
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	r := FromTuples(2, []Tuple{{1, 2}, {3, 4}, {5, 6}})
+	s := FromTuples(1, []Tuple{{2}, {6}})
+	sj := SemiJoin(r, s, []EqPair{{L: 1, R: 0}})
+	if sj.Len() != 2 || !sj.Contains(tup(1, 2)) || !sj.Contains(tup(5, 6)) {
+		t.Errorf("semijoin = %v", sj.Rows())
+	}
+	// No pairs: keeps everything iff s nonempty.
+	if SemiJoin(r, New(1), nil).Len() != 0 {
+		t.Error("semijoin with empty s and no pairs should be empty")
+	}
+	if SemiJoin(r, s, nil).Len() != 3 {
+		t.Error("semijoin with nonempty s and no pairs should keep all")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	r := FromTuples(1, []Tuple{{1}, {2}, {3}})
+	s := FromTuples(1, []Tuple{{2}})
+	d := Difference(r, s)
+	if d.Len() != 2 || d.Contains(tup(2)) {
+		t.Errorf("difference = %v", d.Rows())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	r := FromTuples(2, []Tuple{{1, 2}, {3, 4}})
+	s := FromTuples(2, []Tuple{{3, 4}, {1, 2}})
+	if !Equal(r, s) {
+		t.Error("order-insensitive Equal failed")
+	}
+	s.Insert(tup(9, 9))
+	if Equal(r, s) {
+		t.Error("Equal ignores extra tuple")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	r := FromTuples(2, []Tuple{{3, 1}, {1, 2}, {1, 1}})
+	got := r.Sorted()
+	want := []Tuple{{1, 1}, {1, 2}, {3, 1}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	tab := symtab.New()
+	a, b := tab.Intern("a"), tab.Intern("b")
+	r := FromTuples(2, []Tuple{{a, b}})
+	if got := r.String(tab); got != "{(a, b)}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	r := New(2)
+	for name, f := range map[string]func(){
+		"insert":     func() { r.Insert(tup(1)) },
+		"select":     func() { r.Select(Binding{1}) },
+		"union":      func() { r.Union(New(3)) },
+		"difference": func() { Difference(r, New(1)) },
+		"negative":   func() { New(-1) },
+		"index":      func() { r.BuildIndex(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with wrong arity did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickJoinMatchesNestedLoop cross-checks the indexed hash join against
+// a naive nested-loop join on random inputs.
+func TestQuickJoinMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, s := New(2), New(2)
+		for i := 0; i < 20; i++ {
+			r.Insert(tup(symtab.Sym(1+rng.Intn(4)), symtab.Sym(1+rng.Intn(4))))
+			s.Insert(tup(symtab.Sym(1+rng.Intn(4)), symtab.Sym(1+rng.Intn(4))))
+		}
+		on := []EqPair{{L: 1, R: 0}}
+		fast := Join(r, s, on)
+		slow := New(4)
+		for _, a := range r.Rows() {
+			for _, b := range s.Rows() {
+				if a[1] == b[0] {
+					slow.Insert(tup(a[0], a[1], b[0], b[1]))
+				}
+			}
+		}
+		return Equal(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSemiJoinIsProjectionOfJoin checks r ⋉ s == π_r(r ⋈ s).
+func TestQuickSemiJoinIsProjectionOfJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, s := New(2), New(2)
+		for i := 0; i < 25; i++ {
+			r.Insert(tup(symtab.Sym(1+rng.Intn(5)), symtab.Sym(1+rng.Intn(5))))
+			s.Insert(tup(symtab.Sym(1+rng.Intn(5)), symtab.Sym(1+rng.Intn(5))))
+		}
+		on := []EqPair{{L: 0, R: 1}}
+		sj := SemiJoin(r, s, on)
+		pj := Join(r, s, on).Project([]int{0, 1})
+		return Equal(sj, pj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectMatchesScan checks indexed selection against a full scan.
+func TestQuickSelectMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(3)
+		for i := 0; i < 30; i++ {
+			r.Insert(tup(symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3))))
+		}
+		b := Binding{symtab.Sym(1 + rng.Intn(3)), 0, symtab.Sym(1 + rng.Intn(3))}
+		fast := r.Select(b)
+		count := 0
+		for _, row := range r.Rows() {
+			if b.Matches(row) {
+				count++
+			}
+		}
+		if len(fast) != count {
+			return false
+		}
+		for _, row := range fast {
+			if !b.Matches(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

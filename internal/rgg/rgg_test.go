@@ -1,0 +1,430 @@
+package rgg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/unify"
+)
+
+// p1 is the paper's Example 2.1 program: query p(a, Z) with a nonlinear
+// recursive rule and an EDB base rule.
+const p1 = `
+	goal(Z) :- p(a, Z).
+	p(X, Y) :- p(X, U), q(U, V), p(V, Y).
+	p(X, Y) :- r(X, Y).
+	r(x0, x1). q(x1, x1).
+`
+
+func build(t *testing.T, src string, opts Options) *Graph {
+	t.Helper()
+	g, err := Build(parser.MustParse(src), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFig1Graph reproduces Figure 1: the greedy information-passing
+// rule/goal graph for P1. Below the two top levels (the goal node and the
+// query rule) the graph must contain exactly the node set of the figure:
+//
+//	p(aᶜ, Zᶠ) with two rules:
+//	  p(a,Z) :- p(a,U), q(U,V), p(V,Z)   [p(aᶜ,Uᶠ) cycles to p(aᶜ,Zᶠ);
+//	                                      q(Uᵈ,Vᶠ) EDB; p(Vᵈ,Zᶠ) expands]
+//	  p(a,Z) :- r(a,Z)                   [r(aᶜ,Zᶠ) EDB]
+//	p(Vᵈ, Zᶠ) with two rules:
+//	  p(V,Z) :- p(V,Y), q(Y,W), p(W,Z)   [both p subgoals cycle to p(Vᵈ,Zᶠ)]
+//	  p(V,Z) :- r(V,Z)                   [r(Vᵈ,Zᶠ) EDB]
+func TestFig1Graph(t *testing.T) {
+	g := build(t, p1, Options{})
+
+	root := g.Nodes[g.Root]
+	if root.Kind != Goal || root.Atom.Pred != ast.GoalPred {
+		t.Fatalf("root = %s", root.Adorned())
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root has %d rule children, want 1", len(root.Children))
+	}
+	queryRule := g.Nodes[root.Children[0]]
+	if len(queryRule.Children) != 1 {
+		t.Fatalf("query rule has %d subgoals", len(queryRule.Children))
+	}
+
+	// Level 3: p(aᶜ, Zᶠ).
+	pcf := g.Nodes[queryRule.Children[0]]
+	if pcf.Atom.Pred != "p" || !pcf.Ad.Equal(adorn.Adornment{adorn.Const, adorn.Free}) {
+		t.Fatalf("first p node = %s, want p(aᶜ, ·ᶠ)", pcf.Adorned())
+	}
+	if pcf.Atom.Args[0] != ast.C("a") {
+		t.Fatalf("constant argument = %v", pcf.Atom.Args[0])
+	}
+	if len(pcf.Children) != 2 {
+		t.Fatalf("p(aᶜ,Zᶠ) has %d rule children, want 2", len(pcf.Children))
+	}
+
+	// Recursive rule under p(aᶜ, Zᶠ): subgoals p(aᶜ,Uᶠ) [cycle], q(Uᵈ,Vᶠ)
+	// [EDB], p(Vᵈ,Zᶠ) [expanded].
+	rec := g.Nodes[pcf.Children[0]]
+	if len(rec.Children) != 3 {
+		t.Fatalf("recursive rule has %d subgoal children, want 3", len(rec.Children))
+	}
+	sg1, sg2, sg3 := g.Nodes[rec.Children[0]], g.Nodes[rec.Children[1]], g.Nodes[rec.Children[2]]
+	if sg1.CycleTo != pcf.ID {
+		t.Errorf("p(aᶜ,Uᶠ) should cycle to p(aᶜ,Zᶠ): CycleTo=%d want %d", sg1.CycleTo, pcf.ID)
+	}
+	if !sg1.Ad.Equal(adorn.Adornment{adorn.Const, adorn.Free}) {
+		t.Errorf("sg1 adornment = %s, want cf", sg1.Ad)
+	}
+	if !sg2.EDB || !sg2.Ad.Equal(adorn.Adornment{adorn.Dynamic, adorn.Free}) {
+		t.Errorf("q subgoal = %s EDB=%v, want q(Uᵈ,Vᶠ) EDB", sg2.Adorned(), sg2.EDB)
+	}
+	if sg3.CycleTo != NoNode || sg3.EDB {
+		t.Errorf("p(Vᵈ,Zᶠ) should be a fresh goal node, got cycle=%d EDB=%v", sg3.CycleTo, sg3.EDB)
+	}
+	if !sg3.Ad.Equal(adorn.Adornment{adorn.Dynamic, adorn.Free}) {
+		t.Errorf("sg3 adornment = %s, want df", sg3.Ad)
+	}
+
+	// Base rule under p(aᶜ,Zᶠ): r(aᶜ,Zᶠ) EDB.
+	base := g.Nodes[pcf.Children[1]]
+	if len(base.Children) != 1 || !g.Nodes[base.Children[0]].EDB {
+		t.Fatalf("base rule wrong: %v", base.Children)
+	}
+
+	// Level 5: p(Vᵈ, Zᶠ) — "the goal node p(aᶜ,Zᶠ) cannot supply tuples to
+	// nodes with different binding patterns, necessitating a separate goal
+	// node for p(Vᵈ, Zᶠ)".
+	pdf := sg3
+	if len(pdf.Children) != 2 {
+		t.Fatalf("p(Vᵈ,Zᶠ) has %d rule children, want 2", len(pdf.Children))
+	}
+	rec2 := g.Nodes[pdf.Children[0]]
+	if len(rec2.Children) != 3 {
+		t.Fatalf("inner recursive rule has %d children", len(rec2.Children))
+	}
+	// "p(Vᵈ,Zᶠ) supplies tuples to p(Vᵈ,Yᶠ) and p(Wᵈ,Zᶠ) in response to
+	// requests from those nodes": both recursive subgoals cycle to pdf.
+	in1, in2, in3 := g.Nodes[rec2.Children[0]], g.Nodes[rec2.Children[1]], g.Nodes[rec2.Children[2]]
+	if in1.CycleTo != pdf.ID {
+		t.Errorf("p(Vᵈ,Yᶠ) cycles to %d, want %d", in1.CycleTo, pdf.ID)
+	}
+	if in3.CycleTo != pdf.ID {
+		t.Errorf("p(Wᵈ,Zᶠ) cycles to %d, want %d", in3.CycleTo, pdf.ID)
+	}
+	if !in2.EDB {
+		t.Errorf("q(Yᵈ,Wᶠ) should be EDB")
+	}
+	// "a change in variable name does not prevent a goal node from
+	// supplying tuples": the two variants have different variable names
+	// but identical adornment df.
+	if !in1.Ad.Equal(pdf.Ad) || !in3.Ad.Equal(pdf.Ad) {
+		t.Error("variant adornments differ from ancestor")
+	}
+	if !unify.Variant(in1.Atom, pdf.Atom) || !unify.Variant(in3.Atom, pdf.Atom) {
+		t.Error("cycle targets are not variants")
+	}
+
+	// Total node count: 2 (top) + 1 + 2 rules + 3 + 1 + (p(Vd,Zf) subtree:
+	// 1 is sg3 already counted... count all: root, qrule, pcf, rec, sg1,
+	// sg2, sg3, base, r-leaf, rec2, in1, in2, in3, base2, r-leaf2 = 15.
+	if len(g.Nodes) != 15 {
+		t.Errorf("graph has %d nodes, want 15:\n%s", len(g.Nodes), g.Text())
+	}
+}
+
+func TestFig1SCCs(t *testing.T) {
+	g := build(t, p1, Options{})
+	// Two nontrivial strong components: {p(aᶜ,Zᶠ), its recursive rule,
+	// p(aᶜ,Uᶠ)} and {p(Vᵈ,Zᶠ), its recursive rule, p(Vᵈ,Yᶠ), p(Wᵈ,Zᶠ)}.
+	var sizes []int
+	for _, members := range g.SCCs {
+		if len(members) > 1 {
+			sizes = append(sizes, len(members))
+		}
+	}
+	if len(sizes) != 2 {
+		t.Fatalf("nontrivial SCCs = %d, want 2\n%s", len(sizes), g.Text())
+	}
+	if !(sizes[0] == 3 && sizes[1] == 4) && !(sizes[0] == 4 && sizes[1] == 3) {
+		t.Errorf("SCC sizes = %v, want {3,4}", sizes)
+	}
+	// Leaders must be the goal nodes with cf and df adornments.
+	for scc, members := range g.SCCs {
+		if len(members) == 1 {
+			continue
+		}
+		leader := g.Nodes[g.Leader[scc]]
+		if leader.Kind != Goal || leader.Atom.Pred != "p" {
+			t.Errorf("leader of scc %d = %s", scc, leader.Adorned())
+		}
+		// Leader's parent is outside the component.
+		if g.Nodes[leader.Parent].SCC == leader.SCC {
+			t.Errorf("leader %d's parent is inside its component", leader.ID)
+		}
+		// Every other member's parent is inside.
+		for _, m := range members {
+			if m == leader.ID {
+				continue
+			}
+			if g.Nodes[g.Nodes[m].Parent].SCC != leader.SCC {
+				t.Errorf("member %d has parent outside the component", m)
+			}
+		}
+	}
+}
+
+func TestFig1BFST(t *testing.T) {
+	g := build(t, p1, Options{})
+	for scc, members := range g.SCCs {
+		if len(members) == 1 {
+			continue
+		}
+		// BFST edges within the component form a tree: every member except
+		// the leader has exactly one BFST parent.
+		parentCount := make(map[int]int)
+		for _, m := range members {
+			for _, c := range g.Nodes[m].BFSTChildren {
+				parentCount[c]++
+			}
+		}
+		leader := g.Leader[scc]
+		for _, m := range members {
+			want := 1
+			if m == leader {
+				want = 0
+			}
+			if parentCount[m] != want {
+				t.Errorf("scc %d member %d has %d BFST parents, want %d", scc, m, parentCount[m], want)
+			}
+		}
+	}
+}
+
+func TestNonRecursiveGraph(t *testing.T) {
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		p(X, Y) :- e(X, Z), e(Z, Y).
+		e(u, v).
+	`, Options{})
+	for i := range g.SCCs {
+		if len(g.SCCs[i]) != 1 {
+			t.Errorf("nonrecursive program has nontrivial SCC: %v", g.SCCs[i])
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.CycleTo != NoNode {
+			t.Errorf("nonrecursive program has cycle edge at node %d", n.ID)
+		}
+	}
+}
+
+func TestLinearTransitiveClosure(t *testing.T) {
+	g := build(t, `
+		goal(Y) :- path(a, Y).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		edge(a, b).
+	`, Options{})
+	nontrivial := 0
+	for _, m := range g.SCCs {
+		if len(m) > 1 {
+			nontrivial++
+			if len(m) != 3 { // path(aᶜ,Yᶠ), recursive rule, variant path(aᶜ,Uᶠ)
+				t.Errorf("TC component size = %d, want 3", len(m))
+			}
+		}
+	}
+	if nontrivial != 1 {
+		t.Errorf("TC program has %d recursive components, want 1", nontrivial)
+	}
+}
+
+// TestThm21EDBIndependence verifies Theorem 2.1's second claim: the size of
+// the graph is independent of the sizes of the EDB relations.
+func TestThm21EDBIndependence(t *testing.T) {
+	small := build(t, p1, Options{})
+	big := parser.MustParse(p1)
+	for i := 0; i < 500; i++ {
+		big.Facts = append(big.Facts,
+			ast.NewAtom("r", ast.C(strings.Repeat("x", 1+i%7)), ast.C("y")))
+	}
+	g2, err := Build(big, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(small.Nodes) {
+		t.Errorf("graph size depends on EDB: %d vs %d", len(g2.Nodes), len(small.Nodes))
+	}
+}
+
+// TestThm21Termination: graph construction terminates on rules that would
+// send a naive top-down interpreter into infinite left recursion.
+func TestThm21Termination(t *testing.T) {
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		p(X, Y) :- p(X, Y).
+		p(X, Y) :- p(Y, X).
+		p(X, Y) :- e(X, Y).
+		e(a, b).
+	`, Options{})
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+	// p(Xᵈ,Yᶠ) vs p(Yᶠ,Xᵈ): the swapped rule produces adornment fd, a new
+	// binding pattern, which then closes the cycle.
+	if len(g.Nodes) > 60 {
+		t.Errorf("graph unexpectedly large: %d nodes\n%s", len(g.Nodes), g.Text())
+	}
+}
+
+func TestMaxNodesGuard(t *testing.T) {
+	prog := parser.MustParse(p1)
+	_, err := Build(prog, Options{MaxNodes: 5})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("MaxNodes guard did not fire: %v", err)
+	}
+}
+
+func TestRepeatedVariablePatterns(t *testing.T) {
+	// p(X,X) and p(X,Y) binding patterns must not be conflated (the
+	// technicality in Theorem 2.1's proof).
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		p(X, Y) :- q(X, Y).
+		q(X, X) :- p(X, X).
+		q(X, Y) :- e(X, Y).
+		e(a, a).
+	`, Options{})
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestMultipleQueryRules(t *testing.T) {
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		goal(Y) :- p(b, Y).
+		p(X, Y) :- e(X, Y).
+		e(a, b).
+	`, Options{})
+	if got := len(g.Nodes[g.Root].Children); got != 2 {
+		t.Errorf("root has %d query-rule children, want 2", got)
+	}
+}
+
+func TestQueryArityMismatch(t *testing.T) {
+	prog := &ast.Program{
+		Facts: []ast.Atom{ast.NewAtom("e", ast.C("a"), ast.C("b"))},
+		Rules: []ast.Rule{
+			{Head: ast.NewAtom(ast.GoalPred, ast.V("X")), Body: []ast.Atom{ast.NewAtom("e", ast.V("X"), ast.V("Y"))}},
+			{Head: ast.NewAtom(ast.GoalPred, ast.V("X"), ast.V("Y")), Body: []ast.Atom{ast.NewAtom("e", ast.V("X"), ast.V("Y"))}},
+		},
+	}
+	if _, err := Build(prog, Options{}); err == nil {
+		t.Error("Build accepted query rules of different arities")
+	}
+}
+
+func TestRuleHeadConstant(t *testing.T) {
+	// A rule head with a constant only matches compatible goals.
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		p(a, Y) :- e(Y).
+		p(b, Y) :- f(Y).
+		e(one). f(two).
+	`, Options{})
+	pcf := g.Nodes[g.Nodes[g.Nodes[g.Root].Children[0]].Children[0]]
+	// p(b,Y) does not unify with p(a,Z): only one rule child.
+	if len(pcf.Children) != 1 {
+		t.Errorf("p(aᶜ,Zᶠ) has %d rule children, want 1 (p(b,·) must not unify)\n%s",
+			len(pcf.Children), g.Text())
+	}
+}
+
+func TestUndefinedPredicateBecomesEmptyEDB(t *testing.T) {
+	g := build(t, `
+		goal(Y) :- p(a, Y).
+		p(X, Y) :- mystery(X, Y).
+		r(a, b).
+	`, Options{})
+	found := false
+	for _, n := range g.Nodes {
+		if n.Kind == Goal && n.Atom.Pred == "mystery" {
+			found = true
+			if !n.EDB {
+				t.Error("undefined predicate not treated as EDB leaf")
+			}
+		}
+	}
+	if !found {
+		t.Error("mystery leaf not created")
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	prog := parser.MustParse(p1)
+	for name, s := range map[string]Strategy{
+		"greedy":   GreedyStrategy,
+		"qualtree": QualTreeStrategy,
+		"ltr":      LeftToRightStrategy,
+		"basic":    BasicStrategy,
+	} {
+		g, err := Build(prog, Options{Strategy: s})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(g.Nodes) == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestTextAndDOT(t *testing.T) {
+	g := build(t, p1, Options{})
+	text := g.Text()
+	for _, want := range []string{"--cycle-->", "[EDB]", "leader", "sip:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "style=dashed", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT() missing %q", want)
+		}
+	}
+}
+
+func TestFeeders(t *testing.T) {
+	g := build(t, p1, Options{})
+	// The df component's rule node feeds from the q EDB leaf and r leaf.
+	for scc, members := range g.SCCs {
+		if len(members) != 4 {
+			continue
+		}
+		leader := g.Leader[scc]
+		feedersSeen := 0
+		for _, m := range members {
+			feedersSeen += len(g.Feeders(m))
+		}
+		// q leaf (under inner rule), base rule node (under leader goal).
+		if feedersSeen != 2 {
+			t.Errorf("df component has %d feeders, want 2 (q leaf and base rule)\n%s", feedersSeen, g.Text())
+		}
+		_ = leader
+	}
+}
+
+func TestGoalNodes(t *testing.T) {
+	g := build(t, p1, Options{})
+	for _, id := range g.GoalNodes() {
+		if g.Nodes[id].Kind != Goal {
+			t.Errorf("GoalNodes returned rule node %d", id)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package transport moves messages between node processes. Each process
+// owns one unbounded FIFO mailbox; delivery order within the mailbox equals
+// enqueue order across all senders, which is the property the §3.2
+// termination protocol's correctness argument relies on (see DESIGN.md).
+// Mailboxes are unbounded so that message cycles through recursive
+// components can never deadlock on channel capacity.
+//
+// Two Network implementations are provided: Local, which routes every
+// message to an in-process mailbox, and the TCP transport in tcp.go, which
+// carries messages between OS processes over sockets — demonstrating the
+// paper's claim that "shared memory is not required, making this approach
+// suitable for distributed systems".
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// Mailbox is an unbounded FIFO queue of messages. Any number of goroutines
+// may Put; one owner goroutine is expected to Get.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []msg.Message
+	head   int
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Put enqueues a message. Put on a closed mailbox is a no-op (late
+// messages during shutdown are dropped deliberately).
+func (m *Mailbox) Put(x msg.Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, x)
+	m.cond.Signal()
+}
+
+// Get blocks until a message is available or the mailbox is closed.
+// ok is false once the mailbox is closed and drained.
+func (m *Mailbox) Get() (x msg.Message, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.queue) {
+		return msg.Message{}, false
+	}
+	x = m.queue[m.head]
+	m.queue[m.head] = msg.Message{} // release Vals for GC
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	} else if m.head > 64 && m.head*2 >= len(m.queue) {
+		// Compact so the backing array cannot grow with total throughput.
+		n := copy(m.queue, m.queue[m.head:])
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	return x, true
+}
+
+// Empty reports whether the mailbox currently holds no messages. This is
+// the queue-emptiness half of the protocol's empty_queues() test.
+func (m *Mailbox) Empty() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.head == len(m.queue)
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue) - m.head
+}
+
+// Close wakes any blocked Get and makes further Puts no-ops.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Network delivers messages to node processes by id. Implementations must
+// preserve per-sender order: two messages from the same sender to the same
+// recipient arrive in send order.
+type Network interface {
+	Send(x msg.Message)
+}
+
+// Local is an in-process Network: one mailbox per node id.
+type Local struct {
+	Boxes []*Mailbox
+}
+
+// NewLocal creates n mailboxes addressed 0..n-1.
+func NewLocal(n int) *Local {
+	l := &Local{Boxes: make([]*Mailbox, n)}
+	for i := range l.Boxes {
+		l.Boxes[i] = NewMailbox()
+	}
+	return l
+}
+
+// Send enqueues the message into the recipient's mailbox.
+func (l *Local) Send(x msg.Message) {
+	l.Boxes[x.To].Put(x)
+}
+
+// Close closes every mailbox.
+func (l *Local) Close() {
+	for _, b := range l.Boxes {
+		b.Close()
+	}
+}

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// TCP is a Network that spans several "sites" (OS processes or independent
+// listeners), each hosting a subset of the node processes. Messages to
+// locally hosted nodes go straight to their mailboxes; messages to remote
+// nodes are gob-encoded over a per-site-pair TCP connection.
+//
+// Ordering guarantee: all traffic from site A to site B shares one
+// connection, so per-sender FIFO delivery is preserved — sufficient for the
+// engine's cross-component watermark accounting. The §3.2 termination
+// protocol additionally needs total enqueue-order FIFO within a strong
+// component, so partitions must co-locate each nontrivial strong component
+// on one site (engine.Partition enforces this; a fully general distribution
+// would extend the protocol with per-channel message counts).
+type TCP struct {
+	site  int
+	hosts []int // node id → site id
+	local *Local
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[int]*siteConn
+	failed   map[int]bool // peers whose dial window expired; sends drop fast
+	accepted map[net.Conn]bool
+
+	wg       sync.WaitGroup
+	addrs    []string
+	closed   bool
+	closedCh chan struct{}
+}
+
+type siteConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCP starts a site: it listens on addrs[site] and will dial peers on
+// demand. hosts maps every node id (including the driver id) to its site.
+// local receives messages for locally hosted nodes.
+func NewTCP(site int, addrs []string, hosts []int, local *Local) (*TCP, error) {
+	ln, err := net.Listen("tcp", addrs[site])
+	if err != nil {
+		return nil, fmt.Errorf("transport: site %d listen: %w", site, err)
+	}
+	t := &TCP{
+		site:     site,
+		hosts:    hosts,
+		local:    local,
+		ln:       ln,
+		conns:    make(map[int]*siteConn),
+		failed:   make(map[int]bool),
+		accepted: make(map[net.Conn]bool),
+		addrs:    addrs,
+		closedCh: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address the site actually listens on (useful when the
+// configured address used port 0).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.accepted[c] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var m msg.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		t.local.Send(m)
+	}
+}
+
+// Send routes the message to the mailbox of a locally hosted node or over
+// the connection to the hosting site. Sends after Close, and sends whose
+// remote peer has vanished, are dropped — the same semantics as a closed
+// mailbox.
+func (t *TCP) Send(m msg.Message) {
+	dest := t.hosts[m.To]
+	if dest == t.site {
+		t.local.Send(m)
+		return
+	}
+	sc, err := t.peer(dest)
+	if err != nil {
+		return
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.enc.Encode(m); err != nil {
+		t.dropPeer(dest, sc)
+	}
+}
+
+// peer returns (dialing if necessary) the connection to the given site.
+// Dialing retries briefly so sites may start in any order.
+func (t *TCP) peer(site int) (*siteConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: closed")
+	}
+	if t.failed[site] {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: site %d unreachable", site)
+	}
+	if sc, ok := t.conns[site]; ok {
+		t.mu.Unlock()
+		return sc, nil
+	}
+	t.mu.Unlock()
+
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err = net.Dial("tcp", t.addrs[site])
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-t.closedCh:
+			return nil, fmt.Errorf("transport: closed while dialing site %d", site)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		t.mu.Lock()
+		t.failed[site] = true
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial site %d: %w", site, err)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sc, ok := t.conns[site]; ok { // lost a dial race; keep the winner
+		c.Close()
+		return sc, nil
+	}
+	sc := &siteConn{c: c, enc: gob.NewEncoder(c)}
+	t.conns[site] = sc
+	return sc, nil
+}
+
+func (t *TCP) dropPeer(site int, sc *siteConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.conns[site]; ok && cur == sc {
+		delete(t.conns, site)
+	}
+	sc.c.Close()
+}
+
+// Close stops the listener and tears down peer connections. In-flight
+// reads finish; subsequent sends are dropped.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.closedCh)
+	conns := t.conns
+	t.conns = make(map[int]*siteConn)
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+}

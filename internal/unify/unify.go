@@ -1,0 +1,193 @@
+// Package unify implements substitutions, most general unifiers, variant
+// testing, and fresh renaming for function-free terms.
+//
+// Rule/goal graph construction (§2.1 of the paper) creates each rule node as
+// "a copy of the rule that began with all new variables, then had the most
+// general unifier applied", and stops expanding a subgoal that "is a variant
+// of one of its ancestors". This package supplies exactly those operations.
+// Because there are no function symbols, unification needs no occurs check
+// and substitutions map variables to terms that are constants or variables.
+package unify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Subst maps variable names to terms. Substitutions produced by MGU are
+// idempotent: no variable in the domain appears in any range term.
+type Subst map[string]ast.Term
+
+// Apply resolves a term through the substitution. Variable chains are
+// followed to a fixpoint so callers may compose bindings incrementally.
+func (s Subst) Apply(t ast.Term) ast.Term {
+	for t.IsVar() {
+		next, ok := s[t.Var]
+		if !ok || next == t {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// ApplyAtom applies the substitution to every argument of the atom.
+func (s Subst) ApplyAtom(a ast.Atom) ast.Atom {
+	out := ast.Atom{Pred: a.Pred, Args: make([]ast.Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ApplyRule applies the substitution to the head and every subgoal.
+func (s Subst) ApplyRule(r ast.Rule) ast.Rule {
+	out := ast.Rule{Head: s.ApplyAtom(r.Head), Body: make([]ast.Atom, len(r.Body))}
+	for i, b := range r.Body {
+		out.Body[i] = s.ApplyAtom(b)
+	}
+	return out
+}
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the substitution deterministically, for diagnostics.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "↦" + s[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MGU returns a most general unifier of two atoms, or ok=false if they do
+// not unify (different predicates, arities, or clashing constants). The
+// returned substitution is idempotent.
+func MGU(a, b ast.Atom) (Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := make(Subst)
+	for i := range a.Args {
+		x := s.Apply(a.Args[i])
+		y := s.Apply(b.Args[i])
+		switch {
+		case x == y:
+			// already equal under s
+		case x.IsVar():
+			bind(s, x.Var, y)
+		case y.IsVar():
+			bind(s, y.Var, x)
+		default: // distinct constants
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// bind records v ↦ t and re-resolves existing bindings so the substitution
+// stays idempotent. t is already resolved through s by the caller.
+func bind(s Subst, v string, t ast.Term) {
+	s[v] = t
+	for k, old := range s {
+		if old.IsVar() && old.Var == v {
+			s[k] = t
+		}
+	}
+}
+
+// Variant reports whether two atoms are equal up to a consistent renaming
+// of variables (a bijection between their variables; constants must match
+// exactly and repeated-variable patterns must agree).
+func Variant(a, b ast.Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	fwd := make(map[string]string)
+	rev := make(map[string]string)
+	for i := range a.Args {
+		x, y := a.Args[i], b.Args[i]
+		switch {
+		case !x.IsVar() && !y.IsVar():
+			if x.Const != y.Const {
+				return false
+			}
+		case x.IsVar() && y.IsVar():
+			if m, ok := fwd[x.Var]; ok {
+				if m != y.Var {
+					return false
+				}
+			} else if m, ok := rev[y.Var]; ok {
+				if m != x.Var {
+					return false
+				}
+			} else {
+				fwd[x.Var] = y.Var
+				rev[y.Var] = x.Var
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Renamer generates globally fresh variable names. Rule nodes in the
+// rule/goal graph each get a rule copy "that began with all new variables"
+// (§2.1); a single Renamer shared across one graph construction guarantees
+// the copies never collide with each other or with goal-node variables.
+type Renamer struct{ n int }
+
+// Fresh returns a new variable name that no prior call has returned.
+// Names have the form _G1, _G2, ... and cannot collide with parsed source
+// variables, which never begin with an underscore followed by 'G'.
+func (r *Renamer) Fresh() string {
+	r.n++
+	return fmt.Sprintf("_G%d", r.n)
+}
+
+// FreshRule returns a copy of the rule with every variable replaced by a
+// fresh one, together with the renaming used.
+func (r *Renamer) FreshRule(rule ast.Rule) (ast.Rule, Subst) {
+	s := make(Subst)
+	for _, v := range rule.Vars() {
+		s[v] = ast.V(r.Fresh())
+	}
+	return s.ApplyRule(rule), s
+}
+
+// Canonical renames the atom's variables to V1, V2, ... in first-occurrence
+// order, producing a canonical representative of its variant class. Two
+// atoms are variants iff their canonical forms are equal.
+func Canonical(a ast.Atom) ast.Atom {
+	m := make(map[string]string)
+	out := ast.Atom{Pred: a.Pred, Args: make([]ast.Term, len(a.Args))}
+	for i, t := range a.Args {
+		if !t.IsVar() {
+			out.Args[i] = t
+			continue
+		}
+		name, ok := m[t.Var]
+		if !ok {
+			name = fmt.Sprintf("V%d", len(m)+1)
+			m[t.Var] = name
+		}
+		out.Args[i] = ast.V(name)
+	}
+	return out
+}

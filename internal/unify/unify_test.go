@@ -1,0 +1,290 @@
+package unify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func atom(pred string, args ...ast.Term) ast.Atom { return ast.NewAtom(pred, args...) }
+
+func TestMGUBindsVarToConst(t *testing.T) {
+	s, ok := MGU(atom("p", ast.V("X"), ast.V("Y")), atom("p", ast.C("a"), ast.V("Z")))
+	if !ok {
+		t.Fatal("MGU failed")
+	}
+	if got := s.Apply(ast.V("X")); got != ast.C("a") {
+		t.Errorf("X ↦ %v, want a", got)
+	}
+	// Y and Z must be unified with each other (either orientation).
+	if s.Apply(ast.V("Y")) != s.Apply(ast.V("Z")) {
+		t.Errorf("Y and Z resolve differently: %v vs %v", s.Apply(ast.V("Y")), s.Apply(ast.V("Z")))
+	}
+}
+
+func TestMGUFailures(t *testing.T) {
+	cases := [][2]ast.Atom{
+		{atom("p", ast.C("a")), atom("p", ast.C("b"))},
+		{atom("p", ast.V("X")), atom("q", ast.V("X"))},
+		{atom("p", ast.V("X")), atom("p", ast.V("X"), ast.V("Y"))},
+		{atom("p", ast.V("X"), ast.V("X")), atom("p", ast.C("a"), ast.C("b"))},
+	}
+	for _, c := range cases {
+		if _, ok := MGU(c[0], c[1]); ok {
+			t.Errorf("MGU(%s, %s) succeeded", c[0], c[1])
+		}
+	}
+}
+
+func TestMGUUnifiesAtoms(t *testing.T) {
+	a := atom("p", ast.V("X"), ast.V("X"), ast.V("Y"))
+	b := atom("p", ast.V("U"), ast.C("c"), ast.V("U"))
+	s, ok := MGU(a, b)
+	if !ok {
+		t.Fatal("MGU failed")
+	}
+	ra, rb := s.ApplyAtom(a), s.ApplyAtom(b)
+	if !ra.Equal(rb) {
+		t.Errorf("after MGU atoms differ: %s vs %s", ra, rb)
+	}
+	if ra.Args[0] != ast.C("c") {
+		t.Errorf("X should resolve to c, got %v", ra.Args[0])
+	}
+}
+
+func TestMGUIdempotent(t *testing.T) {
+	a := atom("p", ast.V("X"), ast.V("Y"), ast.V("Z"))
+	b := atom("p", ast.V("Y"), ast.V("Z"), ast.C("k"))
+	s, ok := MGU(a, b)
+	if !ok {
+		t.Fatal("MGU failed")
+	}
+	for v := range s {
+		resolved := s.Apply(ast.V(v))
+		if resolved.IsVar() {
+			if r2 := s.Apply(resolved); r2 != resolved {
+				t.Errorf("substitution not idempotent at %s: %v then %v", v, resolved, r2)
+			}
+		}
+	}
+	if s.Apply(ast.V("X")) != ast.C("k") {
+		t.Errorf("X = %v, want k", s.Apply(ast.V("X")))
+	}
+}
+
+func TestApplyRule(t *testing.T) {
+	r := ast.Rule{
+		Head: atom("p", ast.V("X"), ast.V("Y")),
+		Body: []ast.Atom{atom("q", ast.V("X"), ast.V("Z")), atom("r", ast.V("Z"), ast.V("Y"))},
+	}
+	s := Subst{"X": ast.C("a")}
+	got := s.ApplyRule(r)
+	if got.Head.Args[0] != ast.C("a") || got.Body[0].Args[0] != ast.C("a") {
+		t.Errorf("ApplyRule did not substitute X: %s", got)
+	}
+	if got.Body[1].Args[0] != ast.V("Z") {
+		t.Errorf("ApplyRule disturbed unbound Z: %s", got)
+	}
+}
+
+func TestVariant(t *testing.T) {
+	yes := [][2]ast.Atom{
+		{atom("p", ast.V("X"), ast.V("Y")), atom("p", ast.V("A"), ast.V("B"))},
+		{atom("p", ast.V("X"), ast.V("X")), atom("p", ast.V("B"), ast.V("B"))},
+		{atom("p", ast.C("a"), ast.V("Z")), atom("p", ast.C("a"), ast.V("U"))},
+		{atom("p"), atom("p")},
+	}
+	no := [][2]ast.Atom{
+		{atom("p", ast.V("X"), ast.V("Y")), atom("p", ast.V("A"), ast.V("A"))},
+		{atom("p", ast.V("X"), ast.V("X")), atom("p", ast.V("A"), ast.V("B"))},
+		{atom("p", ast.C("a"), ast.V("Z")), atom("p", ast.C("b"), ast.V("U"))},
+		{atom("p", ast.C("a")), atom("p", ast.V("X"))},
+		{atom("p", ast.V("X")), atom("q", ast.V("X"))},
+		// The paper's own Theorem 2.1 example: repeated-variable patterns
+		// p(X, X, Z) and p(V, V, V) are not variants.
+		{atom("p", ast.V("X"), ast.V("X"), ast.V("Z")), atom("p", ast.V("V"), ast.V("V"), ast.V("V"))},
+	}
+	for _, c := range yes {
+		if !Variant(c[0], c[1]) {
+			t.Errorf("Variant(%s, %s) = false", c[0], c[1])
+		}
+		if !Variant(c[1], c[0]) {
+			t.Errorf("Variant(%s, %s) = false (symmetry)", c[1], c[0])
+		}
+	}
+	for _, c := range no {
+		if Variant(c[0], c[1]) {
+			t.Errorf("Variant(%s, %s) = true", c[0], c[1])
+		}
+		if Variant(c[1], c[0]) {
+			t.Errorf("Variant(%s, %s) = true (symmetry)", c[1], c[0])
+		}
+	}
+}
+
+func TestCanonicalCharacterizesVariants(t *testing.T) {
+	a := atom("p", ast.V("X"), ast.V("Y"), ast.V("X"))
+	b := atom("p", ast.V("Q"), ast.V("R"), ast.V("Q"))
+	c := atom("p", ast.V("Q"), ast.V("R"), ast.V("R"))
+	if !Canonical(a).Equal(Canonical(b)) {
+		t.Errorf("variants canonicalize differently: %s vs %s", Canonical(a), Canonical(b))
+	}
+	if Canonical(a).Equal(Canonical(c)) {
+		t.Errorf("non-variants canonicalize equal: %s", Canonical(a))
+	}
+}
+
+func TestRenamerFreshness(t *testing.T) {
+	var r Renamer
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		v := r.Fresh()
+		if seen[v] {
+			t.Fatalf("Fresh returned duplicate %q", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFreshRuleIsVariant(t *testing.T) {
+	var rn Renamer
+	rule := ast.Rule{
+		Head: atom("p", ast.V("X"), ast.V("Y")),
+		Body: []ast.Atom{atom("q", ast.V("X"), ast.V("Z")), atom("r", ast.V("Z"), ast.V("Y"))},
+	}
+	fresh, sub := rn.FreshRule(rule)
+	if !Variant(rule.Head, fresh.Head) {
+		t.Errorf("fresh head %s is not a variant of %s", fresh.Head, rule.Head)
+	}
+	for i := range rule.Body {
+		if !Variant(rule.Body[i], fresh.Body[i]) {
+			t.Errorf("fresh body %s is not a variant of %s", fresh.Body[i], rule.Body[i])
+		}
+	}
+	if sub.Apply(ast.V("X")) == ast.V("X") {
+		t.Error("renaming left X unchanged")
+	}
+	// Shared variables must stay shared: X links head and first subgoal.
+	if fresh.Head.Args[0] != fresh.Body[0].Args[0] {
+		t.Error("renaming broke variable sharing between head and body")
+	}
+}
+
+func TestSubstCloneAndString(t *testing.T) {
+	s := Subst{"X": ast.C("a"), "Y": ast.V("Z")}
+	c := s.Clone()
+	c["X"] = ast.C("b")
+	if s.Apply(ast.V("X")) != ast.C("a") {
+		t.Error("Clone shares storage with original")
+	}
+	if got := s.String(); got != "{X↦a, Y↦Z}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Subst{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// randomAtom builds an atom over a small var/const pool so collisions and
+// repeats are common.
+func randomAtom(r *rand.Rand) ast.Atom {
+	arity := 1 + r.Intn(3)
+	args := make([]ast.Term, arity)
+	for i := range args {
+		if r.Intn(2) == 0 {
+			args[i] = ast.V([]string{"X", "Y", "Z"}[r.Intn(3)])
+		} else {
+			args[i] = ast.C([]string{"a", "b"}[r.Intn(2)])
+		}
+	}
+	return atom("p", args...)
+}
+
+func TestQuickMGUAgreement(t *testing.T) {
+	// Property: whenever MGU succeeds, applying it makes the atoms equal.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randomAtom(r), randomAtom(r)
+		s, ok := MGU(a, b)
+		if !ok {
+			continue
+		}
+		if !s.ApplyAtom(a).Equal(s.ApplyAtom(b)) {
+			t.Fatalf("MGU(%s, %s) = %s does not unify", a, b, s)
+		}
+	}
+}
+
+func TestQuickVariantCanonical(t *testing.T) {
+	// Property: Variant(a,b) ⇔ Canonical(a) == Canonical(b).
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randomAtom(r), randomAtom(r)
+		if len(a.Args) != len(b.Args) {
+			continue
+		}
+		v := Variant(a, b)
+		c := Canonical(a).Equal(Canonical(b))
+		if v != c {
+			t.Fatalf("Variant(%s,%s)=%v but canonical equality=%v", a, b, v, c)
+		}
+	}
+}
+
+func TestQuickFreshRulePreservesStructure(t *testing.T) {
+	var rn Renamer
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rule := ast.Rule{Head: randomAtom(r), Body: []ast.Atom{randomAtom(r), randomAtom(r)}}
+		fresh, _ := rn.FreshRule(rule)
+		// Same sharing pattern: positions holding equal variables in the
+		// original hold equal variables in the copy.
+		origVars := map[string][]int{}
+		freshVars := map[string][]int{}
+		pos := 0
+		collect := func(a ast.Atom, m map[string][]int) {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					m[t.Var] = append(m[t.Var], pos)
+				}
+				pos++
+			}
+		}
+		pos = 0
+		collect(rule.Head, origVars)
+		for _, b := range rule.Body {
+			collect(b, origVars)
+		}
+		pos = 0
+		collect(fresh.Head, freshVars)
+		for _, b := range fresh.Body {
+			collect(b, freshVars)
+		}
+		if len(origVars) != len(freshVars) {
+			return false
+		}
+		groups := func(m map[string][]int) map[string]bool {
+			out := make(map[string]bool)
+			for _, ps := range m {
+				key := ""
+				for _, p := range ps {
+					key += string(rune('A'+p)) + ","
+				}
+				out[key] = true
+			}
+			return out
+		}
+		go1, go2 := groups(origVars), groups(freshVars)
+		for k := range go1 {
+			if !go2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

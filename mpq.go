@@ -1,0 +1,372 @@
+// Package mpq is a message-passing logical query evaluator: a full
+// implementation of Van Gelder's "A Message Passing Framework for Logical
+// Query Evaluation" (SIGMOD 1986).
+//
+// A System holds a function-free Horn program — an extensional database of
+// facts, intensional rules, and query rules for the distinguished predicate
+// "goal" — and evaluates the query with a choice of engines:
+//
+//   - MessagePassing (the paper's contribution): the query is compiled into
+//     an information-passing rule/goal graph whose nodes run as cooperating
+//     processes communicating only by messages; sideways information
+//     passing restricts computation to (potentially) relevant tuples, and
+//     recursive cycles terminate via the paper's distributed protocol.
+//   - SemiNaive / Naive: classical bottom-up least-fixpoint evaluation of
+//     the whole minimum model.
+//   - MagicSets: the same sideways information passing compiled into rules
+//     and run bottom-up.
+//   - BruteForce: §1.1's ground instantiation over the constant domain
+//     (exponential; for the scaling experiment only).
+//
+// # Quickstart
+//
+//	sys, err := mpq.Load(`
+//	    edge(a, b). edge(b, c).
+//	    path(X, Y) :- edge(X, Y).
+//	    path(X, Y) :- path(X, U), edge(U, Y).
+//	    goal(Y) :- path(a, Y).
+//	`)
+//	if err != nil { ... }
+//	ans, err := sys.Eval()
+//	for _, t := range ans.Tuples { fmt.Println(t) }
+package mpq
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/bottomup"
+	"repro/internal/edb"
+	"repro/internal/engine"
+	"repro/internal/magic"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rgg"
+	"repro/internal/trace"
+)
+
+// Engine selects an evaluation method.
+type Engine int
+
+const (
+	// MessagePassing is the paper's framework and the default.
+	MessagePassing Engine = iota
+	// SemiNaive is delta-driven bottom-up evaluation of the full model.
+	SemiNaive
+	// Naive is plain fixpoint iteration of the full model.
+	Naive
+	// MagicSets rewrites the program with magic predicates, then runs
+	// semi-naive evaluation.
+	MagicSets
+	// BruteForce enumerates all ground rule instances (§1.1); it is
+	// exponential in variables per rule and only suitable for tiny inputs.
+	BruteForce
+)
+
+var engineNames = map[Engine]string{
+	MessagePassing: "message-passing",
+	SemiNaive:      "semi-naive",
+	Naive:          "naive",
+	MagicSets:      "magic-sets",
+	BruteForce:     "brute-force",
+}
+
+func (e Engine) String() string {
+	if s, ok := engineNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine by its String name.
+func ParseEngine(name string) (Engine, error) {
+	for e, s := range engineNames {
+		if s == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("mpq: unknown engine %q (try message-passing, semi-naive, naive, magic-sets, brute-force)", name)
+}
+
+// System is a loaded program plus its extensional database.
+//
+// Concurrent Eval/EvalStream calls on one System are safe. Mutation
+// (AddFact, LoadData) must not overlap with evaluations.
+type System struct {
+	Program *ast.Program
+	DB      *edb.Database
+
+	mu sync.Mutex // serializes mutation and index warming
+}
+
+// Load parses and validates Datalog source, loading its facts into a fresh
+// database. The program must define at least one query rule (head predicate
+// "goal", or the `?- body.` sugar).
+func Load(source string) (*System, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(true); err != nil {
+		return nil, err
+	}
+	return &System{Program: prog, DB: edb.FromProgram(prog)}, nil
+}
+
+// LoadFile reads and Loads the named file.
+func LoadFile(path string) (*System, error) {
+	prog, err := parser.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(true); err != nil {
+		return nil, err
+	}
+	return &System{Program: prog, DB: edb.FromProgram(prog)}, nil
+}
+
+// MustLoad is Load for programs known to be well formed; it panics on
+// error.
+func MustLoad(source string) *System {
+	s, err := Load(source)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LoadData bulk-loads delimited rows (tab- or comma-separated, '#'
+// comments) from the named file as facts for pred, returning how many were
+// new. All engines see the loaded facts.
+func (s *System) LoadData(pred, path string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added, err := s.DB.LoadFile(pred, path)
+	s.Program.Facts = append(s.Program.Facts, added...)
+	return len(added), err
+}
+
+// ensureWarm builds every base-relation index under the lock so that the
+// engine's node processes — which run concurrently — only ever read them.
+func (s *System) ensureWarm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.DB.WarmIndexes()
+}
+
+// AddFact inserts one ground fact pred(args...) given as strings, and
+// reports whether it was new. Facts may be added between evaluations.
+func (s *System) AddFact(pred string, args ...string) bool {
+	added := s.DB.Add(pred, args...)
+	if added {
+		a := ast.Atom{Pred: pred}
+		for _, v := range args {
+			a.Args = append(a.Args, ast.C(v))
+		}
+		s.Program.Facts = append(s.Program.Facts, a)
+	}
+	return added
+}
+
+// config collects Eval options.
+type config struct {
+	engine       Engine
+	strategyName string
+	stats        *trace.Stats
+	batch        bool
+	trace        io.Writer
+}
+
+// Option adjusts one evaluation.
+type Option func(*config)
+
+// WithEngine selects the evaluation method (default MessagePassing).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithStrategy selects the sideways information passing strategy by name:
+// "greedy" (default, Definition 2.4), "qualtree" (Theorem 4.1 with greedy
+// fallback), "leftright" (Prolog order), "basic" (no information passing
+// at all — the §2.1 basic graph, for ablations), or "stats" (§1.2's
+// EDB-statistics-driven ordering).
+func WithStrategy(name string) Option {
+	return func(c *config) { c.strategyName = name }
+}
+
+// resolveStrategy binds a strategy name to the system's database (the
+// "stats" strategy needs real cardinalities).
+func (s *System) resolveStrategy(cfg *config) rgg.Strategy {
+	switch cfg.strategyName {
+	case "qualtree":
+		return rgg.QualTreeStrategy
+	case "leftright":
+		return rgg.LeftToRightStrategy
+	case "basic":
+		return rgg.BasicStrategy
+	case "stats":
+		return rgg.StatsStrategy(s.DB)
+	default:
+		return rgg.GreedyStrategy
+	}
+}
+
+// WithStats directs the message engine's counters into the given
+// accumulator (useful across repeated runs).
+func WithStats(st *trace.Stats) Option { return func(c *config) { c.stats = st } }
+
+// WithBatching enables the paper's footnote-2 enhancement: tuple requests
+// generated while handling one message are packaged into a single message
+// per destination. Answers are unchanged; message counts drop.
+func WithBatching() Option { return func(c *config) { c.batch = true } }
+
+// WithTrace logs every message the engine sends to w, one line each —
+// a debugging and teaching aid. MessagePassing engine only.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
+
+// Answer is a completed evaluation.
+type Answer struct {
+	// Engine records which method produced the answer.
+	Engine Engine
+	// Tuples holds the goal tuples as constant strings, sorted.
+	Tuples [][]string
+	// Stats holds the message engine's counters (MessagePassing only).
+	Stats trace.Snapshot
+	// Counts holds bottom-up effort counters (other engines).
+	Counts bottomup.Counts
+}
+
+// Eval evaluates the system's query.
+func (s *System) Eval(opts ...Option) (*Answer, error) {
+	cfg := config{engine: MessagePassing}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch cfg.engine {
+	case MessagePassing:
+		g, err := rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+		if err != nil {
+			return nil, err
+		}
+		s.ensureWarm()
+		res, err := engine.Run(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace})
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Engine: cfg.engine, Tuples: render(res.Answers, s.DB), Stats: res.Stats}, nil
+	case SemiNaive:
+		res := bottomup.SemiNaive(s.Program, s.DB)
+		return &Answer{Engine: cfg.engine, Tuples: render(res.Goal, s.DB), Counts: res.Counts}, nil
+	case Naive:
+		res := bottomup.Naive(s.Program, s.DB)
+		return &Answer{Engine: cfg.engine, Tuples: render(res.Goal, s.DB), Counts: res.Counts}, nil
+	case BruteForce:
+		res := bottomup.BruteForce(s.Program, s.DB)
+		return &Answer{Engine: cfg.engine, Tuples: render(res.Goal, s.DB), Counts: res.Counts}, nil
+	case MagicSets:
+		res, _, db, err := magic.Evaluate(s.Program)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Engine: cfg.engine, Tuples: render(res.Goal, db), Counts: res.Counts}, nil
+	default:
+		return nil, fmt.Errorf("mpq: unknown engine %v", cfg.engine)
+	}
+}
+
+// Explain returns a proof tree showing why pred(args...) holds in the
+// minimum model — the classic deductive-database "why" facility (the
+// paper's related work cites Walker's Syllog, a system built around such
+// explanations). ok is false when the fact does not hold. Proof search
+// evaluates bottom-up with derivation recording, so the first call is as
+// expensive as a SemiNaive evaluation.
+func (s *System) Explain(pred string, args ...string) (*bottomup.Proof, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bottomup.NewExplainer(s.Program, s.DB).Explain(pred, args...)
+}
+
+// EvalStream evaluates with the message-passing engine, invoking yield for
+// every answer as it is derived ("answer tuples come trickling in
+// throughout the computation", §3.1 of the paper). Return false from yield
+// to cancel the evaluation early — useful for exists-style queries that
+// need only the first answer. The returned snapshot covers whatever work
+// ran.
+func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (trace.Snapshot, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.engine != MessagePassing {
+		return trace.Snapshot{}, fmt.Errorf("mpq: EvalStream supports only the message-passing engine")
+	}
+	g, err := rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+	if err != nil {
+		return trace.Snapshot{}, err
+	}
+	s.ensureWarm()
+	res, err := engine.RunStream(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace},
+		func(t relation.Tuple) bool {
+			row := make([]string, len(t))
+			for i, sym := range t {
+				row[i] = s.DB.Syms.String(sym)
+			}
+			return yield(row)
+		})
+	if err != nil {
+		return trace.Snapshot{}, err
+	}
+	return res.Stats, nil
+}
+
+// Graph compiles and returns the information-passing rule/goal graph for
+// the system's query, for inspection (Text, DOT) or for driving the engine
+// package directly (e.g. distributed evaluation with engine.RunSites).
+func (s *System) Graph(opts ...Option) (*rgg.Graph, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+}
+
+func render(r *relation.Relation, db *edb.Database) [][]string {
+	out := make([][]string, 0, r.Len())
+	for _, row := range r.Sorted() {
+		t := make([]string, len(row))
+		for i, sym := range row {
+			t[i] = db.Syms.String(sym)
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Has reports whether the answer contains the exact tuple.
+func (a *Answer) Has(tuple ...string) bool {
+	for _, t := range a.Tuples {
+		if len(t) != len(tuple) {
+			continue
+		}
+		eq := true
+		for i := range t {
+			if t[i] != tuple[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package mpq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestProgramCorpus runs every program in testdata/programs through every
+// engine and checks the answers against the expectation embedded in the
+// file's header:
+//
+//	% expect: b c d          → exactly these tuples ("a,b" = binary tuple,
+//	                           "yes" = the empty tuple, blank = no answers)
+//	% expect-count: 40       → exactly this many tuples
+func TestProgramCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "programs", "*.dl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus programs found: %v", err)
+	}
+	engines := []Engine{MessagePassing, SemiNaive, Naive, MagicSets, BruteForce}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSet, wantCount := parseExpect(t, string(src))
+			for _, e := range engines {
+				sys, err := Load(string(src))
+				if err != nil {
+					t.Fatalf("%v: %v", e, err)
+				}
+				var ans *Answer
+				done := make(chan error, 1)
+				go func() {
+					var err error
+					ans, err = sys.Eval(WithEngine(e))
+					done <- err
+				}()
+				if err := <-done; err != nil {
+					t.Fatalf("%v: %v", e, err)
+				}
+				if wantCount >= 0 {
+					if len(ans.Tuples) != wantCount {
+						t.Errorf("%v: %d answers, want %d", e, len(ans.Tuples), wantCount)
+					}
+					continue
+				}
+				got := renderTuples(ans.Tuples)
+				if got != wantSet {
+					t.Errorf("%v: answers %q, want %q", e, got, wantSet)
+				}
+			}
+			// The batched engine and every strategy must agree too.
+			for _, opt := range []Option{WithBatching(), WithStrategy("qualtree"),
+				WithStrategy("leftright"), WithStrategy("basic")} {
+				sys := MustLoad(string(src))
+				ans, err := sys.Eval(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantCount >= 0 {
+					if len(ans.Tuples) != wantCount {
+						t.Errorf("variant run: %d answers, want %d", len(ans.Tuples), wantCount)
+					}
+				} else if got := renderTuples(ans.Tuples); got != wantSet {
+					t.Errorf("variant run: answers %q, want %q", got, wantSet)
+				}
+			}
+		})
+	}
+}
+
+// parseExpect extracts the expectation header. wantCount is -1 when an
+// explicit tuple set is given instead.
+func parseExpect(t *testing.T, src string) (string, int) {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "% expect-count:"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				t.Fatalf("bad expect-count: %q", line)
+			}
+			return "", n
+		}
+		if rest, ok := strings.CutPrefix(line, "% expect:"); ok {
+			fields := strings.Fields(rest)
+			tuples := make([][]string, 0, len(fields))
+			for _, f := range fields {
+				if f == "yes" {
+					tuples = append(tuples, []string{})
+				} else {
+					tuples = append(tuples, strings.Split(f, ","))
+				}
+			}
+			return renderTuples(tuples), -1
+		}
+	}
+	t.Fatal("program has no % expect header")
+	return "", -1
+}
+
+func renderTuples(tuples [][]string) string {
+	rows := make([]string, 0, len(tuples))
+	for _, t := range tuples {
+		if len(t) == 0 {
+			rows = append(rows, "yes")
+		} else {
+			rows = append(rows, strings.Join(t, ","))
+		}
+	}
+	// Sort for set comparison.
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j] < rows[i] {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	return fmt.Sprint(rows)
+}
