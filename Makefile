@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check check-short bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: build + vet + race-enabled tests.
+check:
+	./scripts/check.sh
+
+# Same gate with -short: skips the soak/stress/timeout-bound tests.
+check-short:
+	./scripts/check.sh -short
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1s .

@@ -1,0 +1,79 @@
+package mpq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/edb"
+	"repro/internal/engine"
+	"repro/internal/rgg"
+	"repro/internal/workload"
+)
+
+// batchWorkloads are the end-to-end instances the vectorized-delivery
+// experiments run: the original E7/E11 instances (narrow wavefronts — a
+// chain discovers one tuple at a time, so batches degenerate to singles and
+// the only requirement is "no worse"), plus wide-wavefront instances of the
+// same query families, where set-at-a-time delivery must collapse message
+// counts by at least minDrop.
+var batchWorkloads = []struct {
+	name    string
+	minDrop float64 // required plain/batched message ratio; 1 = no worse
+	mk      func() *ast.Program
+}{
+	{"E7-chain", 1, func() *ast.Program {
+		return workload.Program(workload.TCRules, workload.Chain("edge", 10))
+	}},
+	{"E11-p1", 1, func() *ast.Program {
+		return workload.Program(workload.P1Rules, workload.P1Data(16, 0.7, rand.New(rand.NewSource(11))))
+	}},
+	{"E7-wide", 5, func() *ast.Program {
+		return workload.Program(workload.TCRules, workload.Random("edge", 64, 512, rand.New(rand.NewSource(11))))
+	}},
+	{"E11-wide", 5, func() *ast.Program {
+		return workload.Program(workload.TCRules, workload.Grid("edge", 12, 12))
+	}},
+}
+
+// TestBatchingMessageDrop pins the vectorized-delivery acceptance: with
+// Options.Batch set the answer set must stay byte-identical on every
+// workload, and on the wide-wavefront instances total basic messages must
+// drop at least 5×.
+func TestBatchingMessageDrop(t *testing.T) {
+	for _, w := range batchWorkloads {
+		prog := w.mk()
+		g, err := rgg.Build(prog, rgg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func(batch bool) (string, int64) {
+			db := edb.FromProgram(prog)
+			res, err := engine.Run(g, db, engine.Options{Batch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, row := range res.Answers.Sorted() {
+				b.WriteString(row.String(db.Syms))
+				b.WriteByte('\n')
+			}
+			return b.String(), res.Stats.Messages()
+		}
+		plainAns, plainMsgs := render(false)
+		batchAns, batchMsgs := render(true)
+		if plainAns != batchAns {
+			t.Errorf("%s: batched answers differ from unbatched", w.name)
+		}
+		if plainAns == "" {
+			t.Errorf("%s: no answers", w.name)
+		}
+		ratio := float64(plainMsgs) / float64(batchMsgs)
+		t.Logf("%s: messages plain=%d batched=%d (%.1fx)", w.name, plainMsgs, batchMsgs, ratio)
+		if ratio < w.minDrop {
+			t.Errorf("%s: message drop %.2fx, want ≥%.0fx (plain=%d batched=%d)",
+				w.name, ratio, w.minDrop, plainMsgs, batchMsgs)
+		}
+	}
+}

@@ -380,6 +380,91 @@ func BenchmarkRelationSemiJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkRelationInsertDup measures duplicate rejection — the hot case
+// for set-semantics evaluation. The tentpole claim: 0 allocs/op.
+func BenchmarkRelationInsertDup(b *testing.B) {
+	r := relation.New(3)
+	for i := 0; i < 4096; i++ {
+		r.Insert(relation.Tuple{symtab.Sym(i + 1), symtab.Sym(i%977 + 1), symtab.Sym(i%53 + 1)})
+	}
+	probe := append(relation.Tuple{}, r.Rows()[100]...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Insert(probe) {
+			b.Fatal("probe was not a duplicate")
+		}
+	}
+}
+
+// BenchmarkRelationJoin2Col measures a 2-column equijoin: one composite
+// index probe per tuple of the larger side, no post-filter scan.
+func BenchmarkRelationJoin2Col(b *testing.B) {
+	left := relation.New(3)
+	right := relation.New(3)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		left.Insert(relation.Tuple{symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1)})
+		right.Insert(relation.Tuple{symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1)})
+	}
+	on := []relation.EqPair{{L: 1, R: 0}, {L: 2, R: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relation.Join(left, right, on)
+	}
+}
+
+// BenchmarkE7EngineBatched / BenchmarkE11InProcessBatched are the original
+// experiment instances with vectorized delivery; their wavefronts are
+// narrow (a chain discovers one tuple at a time), so they bound batching
+// overhead rather than showcase it.
+func BenchmarkE7EngineBatched(b *testing.B) {
+	prog := workload.Program(workload.TCRules, workload.Chain("edge", 10))
+	g, _ := rgg.Build(prog, rgg.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g, edb.FromProgram(prog), engine.Options{Batch: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11InProcessBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	prog := workload.Program(workload.P1Rules, workload.P1Data(16, 0.7, rng))
+	g, _ := rgg.Build(prog, rgg.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g, edb.FromProgram(prog), engine.Options{Batch: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchingWide run the E7 query family (TC reachability) on a
+// wide-wavefront random graph, where set-at-a-time delivery collapses the
+// message count (see TestBatchingMessageDrop for the ratio assertion).
+func BenchmarkBatchingWideOff(b *testing.B) {
+	benchWide(b, false)
+}
+
+func BenchmarkBatchingWideOn(b *testing.B) {
+	benchWide(b, true)
+}
+
+func benchWide(b *testing.B, batch bool) {
+	prog := workload.Program(workload.TCRules, workload.Random("edge", 64, 512, rand.New(rand.NewSource(11))))
+	g, _ := rgg.Build(prog, rgg.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g, edb.FromProgram(prog), engine.Options{Batch: batch}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMailbox(b *testing.B) {
 	mb := transport.NewMailbox()
 	b.ReportAllocs()

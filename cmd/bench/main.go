@@ -9,12 +9,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/adorn"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/rgg"
+	"repro/internal/symtab"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -48,11 +52,17 @@ var experiments = map[string]func(quick bool){
 	"E12": e12Parallel,
 	"A1":  a1Strategies,
 	"A2":  a2Batching,
+	"A3":  a3Substrate,
 }
+
+// jsonOut, when non-empty, makes A3 write its measurement record (the
+// "after" half of BENCH_1.json) to the named file.
+var jsonOut string
 
 func main() {
 	which := flag.String("e", "all", "comma-separated experiment ids (E1..E11) or all")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	flag.StringVar(&jsonOut, "json", "", "write A3 substrate measurements as JSON to this file")
 	flag.Parse()
 
 	var ids []string
@@ -722,6 +732,161 @@ func a2Batching(quick bool) {
 		}
 		el := time.Since(start)
 		row(mode.name, res.Answers.Len(), res.Stats.TupReqs, res.Stats.Messages(), el)
+	}
+}
+
+// a3Substrate measures the allocation-free relational substrate and the
+// vectorized tuple delivery of Options.Batch: substrate microbenchmarks
+// (fresh insert, duplicate insert, 2-column composite equijoin) plus
+// message counts for the E7/E11 query families with batching off and on.
+// The narrow original instances bound batching overhead (a chain's
+// wavefront is one tuple wide, so there is nothing to batch); the wide
+// instances of the same families show the message collapse. With -json
+// the measurements are written out as the "after" half of BENCH_1.json.
+func a3Substrate(quick bool) {
+	header("A3", "allocation-free substrate and vectorized tuple delivery",
+		"duplicate insert allocates nothing; composite indexes probe once per tuple; batching collapses messages on wide wavefronts without changing answers")
+
+	micros := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"relation-insert-fresh", microInsertFresh},
+		{"relation-insert-dup", microInsertDup},
+		{"relation-join-2col", microJoin2Col},
+	}
+	type microResult struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	record := struct {
+		CPU        string                 `json:"cpu"`
+		GoVersion  string                 `json:"go_version"`
+		Micro      map[string]microResult `json:"microbenchmarks"`
+		Messaging  []map[string]any       `json:"messaging"`
+		Commentary string                 `json:"commentary"`
+	}{
+		CPU:       fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		GoVersion: runtime.Version(),
+		Micro:     map[string]microResult{},
+		Commentary: "Batching gains scale with wavefront width: the original E7/E11 " +
+			"instances are chains (one new tuple per step), so their ratio is ~1; " +
+			"the wide instances of the same query families show the collapse.",
+	}
+
+	row("microbenchmark", "ns/op", "B/op", "allocs/op")
+	row("---", "---", "---", "---")
+	for _, m := range micros {
+		r := testing.Benchmark(m.fn)
+		per := microResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		record.Micro[m.name] = per
+		row(m.name, per.NsPerOp, per.BytesPerOp, per.AllocsPerOp)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	wide, tall := 64, 512
+	gw, gh := 12, 12
+	if quick {
+		wide, tall = 24, 96
+		gw, gh = 6, 6
+	}
+	workloads := []struct {
+		name string
+		prog *ast.Program
+	}{
+		{"E7 (chain n=10)", workload.Program(workload.TCRules, workload.Chain("edge", 10))},
+		{"E11 (P1 n=16)", workload.Program(workload.P1Rules, workload.P1Data(16, 0.7, rng))},
+		{fmt.Sprintf("E7-wide (random %d,%d)", wide, tall),
+			workload.Program(workload.TCRules, workload.Random("edge", wide, tall, rand.New(rand.NewSource(11))))},
+		{fmt.Sprintf("E11-wide (grid %dx%d)", gw, gh),
+			workload.Program(workload.TCRules, workload.Grid("edge", gw, gh))},
+	}
+	fmt.Println()
+	row("workload", "answers", "msgs unbatched", "msgs batched", "ratio", "identical")
+	row("---", "---", "---", "---", "---", "---")
+	for _, w := range workloads {
+		g := mustBuild(w.prog)
+		run := func(batch bool) (*engine.Result, time.Duration) {
+			db := edb.FromProgram(w.prog)
+			start := time.Now()
+			res, err := engine.Run(g, db, engine.Options{Batch: batch})
+			if err != nil {
+				panic(err)
+			}
+			return res, time.Since(start)
+		}
+		off, offEl := run(false)
+		on, onEl := run(true)
+		identical := relation.Equal(off.Answers, on.Answers)
+		ratio := float64(off.Stats.Messages()) / float64(on.Stats.Messages())
+		row(w.name, off.Answers.Len(), off.Stats.Messages(), on.Stats.Messages(), ratio, identical)
+		record.Messaging = append(record.Messaging, map[string]any{
+			"workload":           w.name,
+			"answers":            off.Answers.Len(),
+			"messages_unbatched": off.Stats.Messages(),
+			"messages_batched":   on.Stats.Messages(),
+			"message_ratio":      ratio,
+			"batched_rows":       on.Stats.TupleRows,
+			"batches":            on.Stats.TupleBatches,
+			"identical_answers":  identical,
+			"time_unbatched":     offEl.String(),
+			"time_batched":       onEl.String(),
+		})
+	}
+
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}
+
+func microInsertFresh(b *testing.B) {
+	r := relation.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Insert(relation.Tuple{symtab.Sym(i + 1), symtab.Sym(i%977 + 1), symtab.Sym(i%53 + 1)})
+	}
+}
+
+func microInsertDup(b *testing.B) {
+	r := relation.New(3)
+	for i := 0; i < 4096; i++ {
+		r.Insert(relation.Tuple{symtab.Sym(i + 1), symtab.Sym(i%977 + 1), symtab.Sym(i%53 + 1)})
+	}
+	probe := append(relation.Tuple{}, r.Rows()[100]...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Insert(probe) {
+			b.Fatal("probe was not a duplicate")
+		}
+	}
+}
+
+func microJoin2Col(b *testing.B) {
+	left := relation.New(3)
+	right := relation.New(3)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		left.Insert(relation.Tuple{symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1)})
+		right.Insert(relation.Tuple{symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1), symtab.Sym(rng.Intn(50) + 1)})
+	}
+	on := []relation.EqPair{{L: 1, R: 0}, {L: 2, R: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relation.Join(left, right, on)
 	}
 }
 

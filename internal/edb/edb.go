@@ -20,9 +20,9 @@ import (
 
 // Database is a set of named base relations sharing one symbol table.
 // Loading is not safe for concurrent use; once loaded, concurrent reads are
-// safe provided WarmIndexes has been called (index construction is lazy and
-// mutates the relation), which the engine does before starting node
-// processes.
+// safe provided every index the readers will probe has been warmed (index
+// construction is lazy and mutates the relation) — see WarmIndexes and
+// WarmIndexesFor, which the engine calls before starting node processes.
 type Database struct {
 	Syms *symtab.Table
 	rels map[ast.PredKey]*relation.Relation
@@ -182,6 +182,29 @@ func (db *Database) WarmIndexes() {
 	for _, r := range db.rels {
 		for c := 0; c < r.Arity(); c++ {
 			r.BuildIndex(c)
+		}
+	}
+}
+
+// IndexNeed names one composite index a query will probe on a base
+// relation: the columns a selection binds together.
+type IndexNeed struct {
+	Key  ast.PredKey
+	Cols []int
+}
+
+// WarmIndexesFor pre-builds every single-column index plus the named
+// composite indexes. The engine derives the needs from the loaded program's
+// adornments (an EDB leaf binds its constant positions plus its "d"
+// positions, and Relation.Select probes the composite index over exactly
+// that column set), so evaluation never builds an index lazily on a shared
+// relation. Needs for unloaded predicates are ignored; warming the same
+// index twice is a no-op.
+func (db *Database) WarmIndexesFor(needs []IndexNeed) {
+	db.WarmIndexes()
+	for _, n := range needs {
+		if r, ok := db.rels[n.Key]; ok && len(n.Cols) > 0 {
+			r.BuildIndexOn(n.Cols...)
 		}
 	}
 }

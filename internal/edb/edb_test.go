@@ -174,3 +174,36 @@ func TestWarmIndexes(t *testing.T) {
 	<-done
 	<-done
 }
+
+// TestWarmIndexesForIdempotent is the regression test for composite
+// warming: warming the same needs twice must not rebuild any index.
+func TestWarmIndexesForIdempotent(t *testing.T) {
+	db := New()
+	db.Add("g", "a", "b", "c")
+	db.Add("g", "a", "d", "e")
+	db.Add("lone", "x")
+	needs := []IndexNeed{
+		{Key: ast.PredKey{Name: "g", Arity: 3}, Cols: []int{0, 1}},
+		{Key: ast.PredKey{Name: "g", Arity: 3}, Cols: []int{0, 1}}, // duplicate need
+		{Key: ast.PredKey{Name: "absent", Arity: 2}, Cols: []int{0, 1}},
+	}
+	db.WarmIndexesFor(needs)
+	g := db.Relation(ast.PredKey{Name: "g", Arity: 3})
+	builds := g.IndexBuilds()
+	if builds != 4 { // three single-column + one composite
+		t.Errorf("after first warm: %d index builds, want 4", builds)
+	}
+	db.WarmIndexesFor(needs) // warm again: everything already built
+	if g.IndexBuilds() != builds {
+		t.Errorf("second warm rebuilt indexes: %d builds, want %d", g.IndexBuilds(), builds)
+	}
+	// The composite must actually serve selections that bind its columns.
+	a, _ := db.Syms.Lookup("a")
+	b, _ := db.Syms.Lookup("b")
+	if rows := g.Select(relation.Binding{a, b, symtab.NoSym}); len(rows) != 1 {
+		t.Errorf("composite-index selection returned %d rows, want 1", len(rows))
+	}
+	if g.IndexBuilds() != builds {
+		t.Errorf("selection after warm built an index: %d, want %d", g.IndexBuilds(), builds)
+	}
+}

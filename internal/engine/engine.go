@@ -32,6 +32,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/relation"
 	"repro/internal/rgg"
+	"repro/internal/symtab"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -178,9 +179,43 @@ func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Optio
 	if stats == nil {
 		stats = &trace.Stats{}
 	}
-	db.WarmIndexes()
+	db.WarmIndexesFor(edbIndexNeeds(g))
 	return &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
 		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace}, nil
+}
+
+// edbIndexNeeds lists the composite indexes evaluation will probe on the
+// base relations: each EDB leaf's selection binds its constant argument
+// positions plus its "d" positions, and relation.Select probes the
+// composite index over exactly that column set (ascending). Single-bound-
+// column leaves are covered by the unconditional per-column warming.
+func edbIndexNeeds(g *rgg.Graph) []edb.IndexNeed {
+	var needs []edb.IndexNeed
+	for _, n := range g.Nodes {
+		if !n.EDB {
+			continue
+		}
+		bound := make(map[int]bool)
+		for i, t := range n.Atom.Args {
+			if !t.IsVar() {
+				bound[i] = true
+			}
+		}
+		for _, pos := range dynamicPositions(n.Ad) {
+			bound[pos] = true
+		}
+		if len(bound) < 2 {
+			continue
+		}
+		cols := make([]int, 0, len(bound))
+		for i := range n.Atom.Args {
+			if bound[i] {
+				cols = append(cols, i)
+			}
+		}
+		needs = append(needs, edb.IndexNeed{Key: n.Atom.Key(), Cols: cols})
+	}
+	return needs
 }
 
 func (rt *runner) startProc(id int, box *transport.Mailbox) {
@@ -211,9 +246,18 @@ func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple)
 			break
 		}
 		switch m.Kind {
-		case msg.Tuple:
-			answers.Insert(relation.Tuple(m.Vals))
-			if yield != nil && !yield(relation.Tuple(m.Vals)) {
+		case msg.Tuple, msg.TupleBatch:
+			cancelled := false
+			eachRow(m, arity, func(vals []symtab.Sym) {
+				if cancelled {
+					return
+				}
+				answers.Insert(relation.Tuple(vals))
+				if yield != nil && !yield(relation.Tuple(vals)) {
+					cancelled = true
+				}
+			})
+			if cancelled {
 				goto done // caller cancelled: stop early
 			}
 		case msg.End:
@@ -241,8 +285,15 @@ func (rt *runner) send(m msg.Message) {
 		rt.stats.RelReq()
 	case msg.TupReq:
 		rt.stats.TupReq()
+		rows := m.Count
+		if rows < 1 {
+			rows = 1
+		}
+		rt.stats.TupReqRows(rows)
 	case msg.Tuple:
 		rt.stats.TupleMsg()
+	case msg.TupleBatch:
+		rt.stats.TupleBatchMsg(m.Count)
 	case msg.End:
 		rt.stats.EndMsg()
 	case msg.ReqEnd:

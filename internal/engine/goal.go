@@ -108,8 +108,8 @@ func (g *goalState) handle(m msg.Message) {
 		g.onRelReq(m)
 	case msg.TupReq:
 		eachBinding(m, len(g.dPos), func(vals []symtab.Sym) { g.onTupReq(m.From, vals) })
-	case msg.Tuple:
-		g.onTuple(m)
+	case msg.Tuple, msg.TupleBatch:
+		eachRow(m, len(g.carried), g.onTuple)
 	case msg.ReqEnd:
 		g.customer(m.From).reqEnd = true
 	default:
@@ -130,7 +130,7 @@ func (g *goalState) onRelReq(m msg.Message) {
 		// This precedes any servicing below so the triggering customer is
 		// not sent fresh answers twice (once here, once on arrival).
 		for _, t := range g.answers.Rows() {
-			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: t})
+			g.p.queueTuple(cs.id, t)
 		}
 	}
 	if !g.relReqForwarded {
@@ -160,7 +160,7 @@ func (g *goalState) onTupReq(from int, vals []symtab.Sym) {
 	if !cs.reqs[key] {
 		cs.reqs[key] = true
 		for _, t := range g.byDKey[key] {
-			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: t})
+			g.p.queueTuple(cs.id, t)
 		}
 	}
 	if g.reqSeen[key] {
@@ -182,12 +182,12 @@ func (g *goalState) onTupReq(from int, vals []symtab.Sym) {
 // onTuple stores a (new) answer and fans it out to every customer whose
 // request set covers it. Variant nodes are the paper's "trivial goal nodes
 // ... exempt" from storing: they just relay the ancestor's stream.
-func (g *goalState) onTuple(m msg.Message) {
+func (g *goalState) onTuple(vals []symtab.Sym) {
 	if g.cycleTo != rgg.NoNode {
-		g.p.send(msg.Message{Kind: msg.Tuple, To: g.p.customerID(), Vals: m.Vals})
+		g.p.queueTuple(g.p.customerID(), vals)
 		return
 	}
-	t := relation.Tuple(m.Vals)
+	t := relation.Tuple(vals)
 	if !g.answers.Insert(t) {
 		g.p.rt.stats.Dup()
 		return
@@ -201,7 +201,7 @@ func (g *goalState) onTuple(m msg.Message) {
 			continue
 		}
 		if len(g.dPos) == 0 || cs.reqs[key] {
-			g.p.send(msg.Message{Kind: msg.Tuple, To: cs.id, Vals: stored})
+			g.p.queueTuple(cs.id, stored)
 		}
 	}
 }
@@ -251,7 +251,7 @@ rows:
 		}
 		// Dedup through the answer store (projection may collapse rows
 		// that differ only existentially), then stream to the customer.
-		g.onTuple(msg.Message{Kind: msg.Tuple, From: g.p.id, To: g.p.id, Vals: buf})
+		g.onTuple(buf)
 	}
 }
 

@@ -49,13 +49,17 @@ type proc struct {
 	goal *goalState
 	rule *ruleState
 
-	// pending buffers outgoing tuple requests per child while one message
-	// is being handled, when footnote 2's batching is enabled. Flushed
-	// after every handled message, before completion logic runs.
-	pending map[int]*reqBatch
+	// pending buffers outgoing tuple requests per child and pendTups
+	// buffers outgoing tuples per destination, when footnote 2's batching
+	// is enabled. Both are flushed at mailbox-drain boundaries and before
+	// any termination-protocol message is handled, so completion logic
+	// never observes a state with undelivered buffered traffic.
+	pending  map[int]*reqBatch
+	pendTups map[int]*reqBatch
 }
 
-// reqBatch accumulates concatenated d-bindings for one child.
+// reqBatch accumulates concatenated same-width rows for one destination
+// (d-bindings of packaged tuple requests, or carried rows of tuple batches).
 type reqBatch struct {
 	vals  []symtab.Sym
 	count int
@@ -146,16 +150,29 @@ func dynamicPositions(ad adorn.Adornment) []int {
 	return out
 }
 
-// loop is the process body: receive, handle, flush any batched requests,
-// then re-evaluate completion.
+// loop is the process body: receive, handle, flush batched output at
+// mailbox-drain boundaries, then re-evaluate completion.
+//
+// The flush discipline is what keeps batching protocol-transparent: buffered
+// rows are flushed (a) before handling any termination-protocol message, so
+// an idleness probe never observes a node holding undelivered traffic, and
+// (b) whenever the mailbox drains, which always precedes after() — the only
+// place End messages and protocol rounds originate. Hence every buffered
+// tuple reaches the channel before any End that covers it (per-sender FIFO
+// does the rest), and emptyQueues() is never evaluated with hidden output.
 func (p *proc) loop() {
 	for {
 		m, ok := p.box.Get()
 		if !ok || m.Kind == msg.Shutdown {
 			return
 		}
+		if !isWork(m.Kind) {
+			p.flushAll()
+		}
 		p.handle(m)
-		p.flushReqs()
+		if p.box.Empty() {
+			p.flushAll()
+		}
 		p.after(m)
 	}
 }
@@ -194,6 +211,47 @@ func (p *proc) flushReqs() {
 	}
 }
 
+// queueTuple sends (or, under batching, buffers) one derived tuple for the
+// destination. The row is copied when buffered, so callers may reuse vals.
+func (p *proc) queueTuple(dest int, vals []symtab.Sym) {
+	if !p.rt.batch {
+		p.send(msg.Message{Kind: msg.Tuple, To: dest, Vals: vals})
+		return
+	}
+	if p.pendTups == nil {
+		p.pendTups = make(map[int]*reqBatch)
+	}
+	b, ok := p.pendTups[dest]
+	if !ok {
+		b = &reqBatch{}
+		p.pendTups[dest] = b
+	}
+	b.vals = append(b.vals, vals...)
+	b.count++
+}
+
+// flushTuples emits buffered tuples: a lone row goes out as an ordinary
+// Tuple, several rows as one TupleBatch carrying their concatenation.
+func (p *proc) flushTuples() {
+	for dest, b := range p.pendTups {
+		switch {
+		case b.count == 1:
+			p.send(msg.Message{Kind: msg.Tuple, To: dest, Vals: b.vals})
+		case b.count > 1:
+			p.send(msg.Message{Kind: msg.TupleBatch, To: dest, Vals: b.vals, Count: b.count})
+		}
+		if b.count > 0 {
+			b.vals, b.count = nil, 0
+		}
+	}
+}
+
+// flushAll drains both batching buffers onto the channel.
+func (p *proc) flushAll() {
+	p.flushReqs()
+	p.flushTuples()
+}
+
 // eachBinding invokes f once per binding of a (possibly batched) tuple
 // request; width is the receiver's d-binding width.
 func eachBinding(m msg.Message, width int, f func(vals []symtab.Sym)) {
@@ -203,6 +261,19 @@ func eachBinding(m msg.Message, width int, f func(vals []symtab.Sym)) {
 		return
 	}
 	for i := 0; i < count; i++ {
+		f(m.Vals[i*width : (i+1)*width])
+	}
+}
+
+// eachRow invokes f once per row of a Tuple or TupleBatch message; width is
+// the row width at the receiver (zero-width rows are legal: a propositional
+// batch is Count empty rows).
+func eachRow(m msg.Message, width int, f func(vals []symtab.Sym)) {
+	if m.Kind != msg.TupleBatch {
+		f(m.Vals)
+		return
+	}
+	for i := 0; i < m.Count; i++ {
 		f(m.Vals[i*width : (i+1)*width])
 	}
 }

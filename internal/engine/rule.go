@@ -172,8 +172,11 @@ func (r *ruleState) handle(m msg.Message) {
 		r.parentReqEnd = true
 	case msg.TupReq:
 		eachBinding(m, len(r.headDPos), r.onHeadBinding)
-	case msg.Tuple:
-		r.onSubTuple(m)
+	case msg.Tuple, msg.TupleBatch:
+		src := r.sourceIdx(m.From)
+		eachRow(m, len(r.subs[src].carried), func(vals []symtab.Sym) {
+			r.onSubTuple(src, vals)
+		})
 	default:
 		r.p.internalf("unexpected %s", m.Kind)
 	}
@@ -234,28 +237,29 @@ func (r *ruleState) hbColOf(v string) int {
 	return -1
 }
 
-// onSubTuple folds a subgoal answer into its temporary relation and, when
-// new, triggers derivations and downstream requests.
-func (r *ruleState) onSubTuple(m msg.Message) {
-	src := -2
+// sourceIdx maps a sender's node id to its subgoal position in the body.
+func (r *ruleState) sourceIdx(from int) int {
 	for i, s := range r.subs {
-		if s.child == m.From {
-			src = i
-			break
+		if s.child == from {
+			return i
 		}
 	}
-	if src == -2 {
-		r.p.internalf("tuple from unknown child %d", m.From)
-	}
+	r.p.internalf("tuple from unknown child %d", from)
+	return -2
+}
+
+// onSubTuple folds a subgoal answer into its temporary relation and, when
+// new, triggers derivations and downstream requests.
+func (r *ruleState) onSubTuple(src int, vals []symtab.Sym) {
 	s := r.subs[src]
 	row := make(relation.Tuple, len(s.varCols))
 	bound := make([]bool, len(s.varCols))
 	for k := range s.carried {
 		ci := s.posCol[k]
-		if bound[ci] && row[ci] != m.Vals[k] {
+		if bound[ci] && row[ci] != vals[k] {
 			return // repeated variable mismatch: not a real match
 		}
-		row[ci], bound[ci] = m.Vals[k], true
+		row[ci], bound[ci] = vals[k], true
 	}
 	if s.rel.Insert(row) {
 		r.trigger(src, s.colSlots, row)
@@ -348,7 +352,7 @@ func (r *ruleState) emitHead(slots []symtab.Sym) {
 		return
 	}
 	r.sentHeads[key] = true
-	r.p.send(msg.Message{Kind: msg.Tuple, To: r.p.node.Parent, Vals: vals})
+	r.p.queueTuple(r.p.node.Parent, vals)
 }
 
 // enumerate extends the slot assignment with one matching row from each

@@ -67,6 +67,8 @@ func (s *schedRunner) step() bool {
 		switch m.Kind {
 		case msg.Tuple:
 			s.answers++
+		case msg.TupleBatch:
+			s.answers += m.Count
 		case msg.End:
 			if m.All {
 				s.done = true
@@ -82,8 +84,14 @@ func (s *schedRunner) step() bool {
 	if !ok || m.Kind == msg.Shutdown {
 		return true
 	}
+	// Mirror proc.loop's flush discipline exactly (see proc.go).
+	if !isWork(m.Kind) {
+		p.flushAll()
+	}
 	p.handle(m)
-	p.flushReqs()
+	if p.box.Empty() {
+		p.flushAll()
+	}
 	p.after(m)
 	return true
 }
@@ -127,10 +135,14 @@ func TestScheduledInterleavings(t *testing.T) {
 		 t(X, Y) :- t(X, U), t(U, Y).
 		 goal(Y) :- t(a, Y).`,
 	}
+	seeds := int64(150)
+	if testing.Short() {
+		seeds = 40
+	}
 	for pi, src := range programs {
 		truth := bottomup.SemiNaive(parser.MustParse(src), edb.FromProgram(parser.MustParse(src)))
 		want := truth.Goal.Len()
-		for seed := int64(0); seed < 150; seed++ {
+		for seed := int64(0); seed < seeds; seed++ {
 			s, _ := newSchedRunner(t, src, seed, Options{Batch: seed%3 == 2})
 			s.run(t, 2_000_000)
 			if !s.done {

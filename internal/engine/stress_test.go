@@ -107,9 +107,13 @@ func TestProtocolUnderJitter(t *testing.T) {
 // programs with several mutually recursive IDB predicates against the
 // semi-naive oracle.
 func TestRandomMultiRulePrograms(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
 	rng := rand.New(rand.NewSource(2024))
 	preds := []string{"p", "q", "s"}
-	for trial := 0; trial < 20; trial++ {
+	for trial := 0; trial < trials; trial++ {
 		n := 4 + rng.Intn(6)
 		var src string
 		for k := 0; k < 2*n; k++ {

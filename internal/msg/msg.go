@@ -55,11 +55,17 @@ const (
 	// Shutdown stops a node process; broadcast by the driver once the
 	// query answer is complete.
 	Shutdown
+	// TupleBatch carries Count derived tuples in one message: Vals is the
+	// concatenation of Count rows of equal width. It is the tuple-side
+	// generalization of footnote 2's packaged requests; semantically it is
+	// exactly Count consecutive Tuple messages from the same sender (see
+	// doc/PROTOCOL.md, "Vectorized tuple delivery").
+	TupleBatch
 )
 
 var kindNames = [...]string{
 	"relreq", "tupreq", "tuple", "end", "reqend",
-	"endreq", "endneg", "endconf", "nudge", "shutdown",
+	"endreq", "endneg", "endconf", "nudge", "shutdown", "tuplebatch",
 }
 
 func (k Kind) String() string {
@@ -79,10 +85,10 @@ type Message struct {
 	To   int
 	// Vals carries d-argument bindings (TupReq) or carried-position values
 	// (Tuple). A batched tuple request (footnote 2's "packaged" requests)
-	// concatenates Count bindings.
+	// or a TupleBatch concatenates Count rows.
 	Vals []symtab.Sym
-	// Count is the number of bindings in a batched TupReq; zero or one
-	// means a single binding.
+	// Count is the number of rows in a batched TupReq or TupleBatch; zero
+	// or one means a single row.
 	Count int
 	// N is the End watermark: how many of the customer's tuple-request
 	// bindings are fully serviced.
@@ -98,6 +104,8 @@ func (m Message) String() string {
 	switch m.Kind {
 	case Tuple, TupReq:
 		return fmt.Sprintf("%s %d→%d %v", m.Kind, m.From, m.To, m.Vals)
+	case TupleBatch:
+		return fmt.Sprintf("%s %d→%d rows=%d %v", m.Kind, m.From, m.To, m.Count, m.Vals)
 	case End:
 		return fmt.Sprintf("end %d→%d n=%d all=%v", m.From, m.To, m.N, m.All)
 	case EndReq, EndNeg, EndConf:

@@ -4,6 +4,14 @@
 // union (§2.2: "rule nodes combine their subgoal relations using join,
 // select, and project; predicate nodes compute the union of the relations
 // computed by their children").
+//
+// The substrate is allocation-free on its hot paths: membership is an
+// open-addressed hash set over an FNV-1a hash of the symbol columns (no
+// per-tuple string key is ever materialized), row storage is a chunked
+// flat arena of symbols (inserts do not allocate a slice header plus a
+// clone per tuple), and joins probe composite (multi-column) hash indexes
+// so a k-column equijoin costs one hash lookup per probe tuple instead of
+// a single-column probe followed by an equality scan.
 package relation
 
 import (
@@ -18,7 +26,9 @@ import (
 type Tuple []symtab.Sym
 
 // Key encodes the tuple as a string usable as a map key. Symbols are 32-bit,
-// so four bytes per column give a collision-free encoding.
+// so four bytes per column give a collision-free encoding. The relation
+// internals no longer use it (they hash columns directly); it remains for
+// callers that need tuples as keys of ordinary Go maps.
 func (t Tuple) Key() string {
 	b := make([]byte, 4*len(t))
 	for i, s := range t {
@@ -59,18 +69,101 @@ func (t Tuple) String(tab *symtab.Table) string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// FNV-1a over the 4 bytes of each 32-bit symbol.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one symbol into an FNV-1a hash, byte by byte.
+func fnvMix(h uint64, v uint32) uint64 {
+	h = (h ^ uint64(v&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>8&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>16&0xff)) * fnvPrime64
+	h = (h ^ uint64(v>>24)) * fnvPrime64
+	return h
+}
+
+// hashSyms hashes a row of symbols without materializing a key.
+func hashSyms(vals []symtab.Sym) uint64 {
+	h := uint64(fnvOffset64)
+	for _, s := range vals {
+		h = fnvMix(h, uint32(s))
+	}
+	return h
+}
+
+// maxIndexCols caps the width of a composite index key. Equalities beyond
+// the cap are verified per candidate row (they still never trigger a scan
+// of non-candidates).
+const maxIndexCols = 8
+
+// colsKey packs an index's column list (each < 255) into the map key that
+// identifies it, without allocating.
+func colsKey(cols []int) uint64 {
+	k := uint64(0)
+	for _, c := range cols {
+		k = k<<8 | uint64(c+1)
+	}
+	return k
+}
+
+// index is a hash index over a fixed column list: value key → ordinals of
+// the rows holding those values. Single-column indexes use the symbol
+// itself as the key, so their key count is an exact distinct count;
+// composite indexes use an FNV-1a hash of the column values (probes verify
+// the actual equalities, so collisions cost comparisons, never wrong
+// answers).
+type index struct {
+	cols []int
+	m    map[uint64][]int32
+}
+
+func (ix *index) rowKey(row Tuple) uint64 {
+	if len(ix.cols) == 1 {
+		return uint64(uint32(row[ix.cols[0]]))
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range ix.cols {
+		h = fnvMix(h, uint32(row[c]))
+	}
+	return h
+}
+
+// probe returns the candidate row ordinals for the given values of the
+// indexed columns (in index-column order).
+func (ix *index) probe(vals []symtab.Sym) []int32 {
+	if len(ix.cols) == 1 {
+		return ix.m[uint64(uint32(vals[0]))]
+	}
+	return ix.m[hashSyms(vals)]
+}
+
+func (ix *index) add(row Tuple, ord int32) {
+	k := ix.rowKey(row)
+	ix.m[k] = append(ix.m[k], ord)
+}
+
 // Relation is a mutable set of same-arity tuples. Insertion order is
-// preserved for deterministic iteration; membership is O(1). Hash indexes on
-// individual columns are built lazily and maintained incrementally.
+// preserved for deterministic iteration; membership is O(1) and
+// allocation-free. Hash indexes — single-column or composite — are built
+// lazily and maintained incrementally on insert.
 //
 // A Relation is not safe for concurrent mutation; in the engine each node
 // process owns its relations exclusively, exactly as the paper's
-// no-shared-memory regime prescribes.
+// no-shared-memory regime prescribes. Because index construction is lazy
+// and mutates the relation, code that reads one relation from several
+// goroutines must warm every index it will probe first (see
+// edb.Database.WarmIndexesFor).
 type Relation struct {
-	arity   int
-	rows    []Tuple
-	set     map[string]struct{}
-	indexes map[int]map[symtab.Sym][]int // column → value → row ordinals
+	arity  int
+	rows   []Tuple  // row views into arena chunks, in insertion order
+	hashes []uint64 // hashes[i] = hashSyms(rows[i])
+	chunk  []symtab.Sym
+	slots  []int32 // open-addressed dedup set: row ordinal+1; 0 = empty
+	// indexes maps colsKey → index.
+	indexes     map[uint64]*index
+	indexBuilds int
 }
 
 // New returns an empty relation of the given arity. Arity zero is legal and
@@ -80,7 +173,7 @@ func New(arity int) *Relation {
 	if arity < 0 {
 		panic(fmt.Sprintf("relation: negative arity %d", arity))
 	}
-	return &Relation{arity: arity, set: make(map[string]struct{})}
+	return &Relation{arity: arity}
 }
 
 // FromTuples builds a relation of the given arity from tuples, discarding
@@ -99,52 +192,125 @@ func (r *Relation) Arity() int { return r.arity }
 // Len returns the number of distinct tuples.
 func (r *Relation) Len() int { return len(r.rows) }
 
+// lookup returns the ordinal of the row equal to t (whose hash is h), or
+// -1. It never allocates.
+func (r *Relation) lookup(h uint64, t Tuple) int {
+	if len(r.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := r.slots[i]
+		if s == 0 {
+			return -1
+		}
+		ord := int(s - 1)
+		if r.hashes[ord] == h && r.rows[ord].Equal(t) {
+			return ord
+		}
+	}
+}
+
+// place writes a row reference (ordinal+1) into the first free slot of its
+// probe sequence. The table must have free space.
+func (r *Relation) place(h uint64, ref int32) {
+	mask := uint64(len(r.slots) - 1)
+	i := h & mask
+	for r.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	r.slots[i] = ref
+}
+
+// grow keeps the open-addressed table under 3/4 occupancy for the next
+// insert, rebuilding from the stored hashes when it doubles.
+func (r *Relation) grow() {
+	need := len(r.rows) + 1
+	if len(r.slots) > 0 && need*4 <= len(r.slots)*3 {
+		return
+	}
+	size := 16
+	for size*3 < need*4 {
+		size *= 2
+	}
+	r.slots = make([]int32, size)
+	for ord, h := range r.hashes {
+		r.place(h, int32(ord+1))
+	}
+}
+
+// arena appends the tuple's symbols to the current chunk and returns a
+// stable view of them. Full chunks are never reallocated (row views keep
+// them alive), so views stay valid as the relation grows.
+func (r *Relation) arena(t Tuple) Tuple {
+	if r.arity == 0 {
+		return Tuple{}
+	}
+	if len(r.chunk)+r.arity > cap(r.chunk) {
+		per := 64
+		for per < len(r.rows) && per < 16384 {
+			per *= 2
+		}
+		r.chunk = make([]symtab.Sym, 0, per*r.arity)
+	}
+	off := len(r.chunk)
+	r.chunk = append(r.chunk, t...)
+	return r.chunk[off:len(r.chunk):len(r.chunk)]
+}
+
 // Insert adds the tuple and reports whether it was new. The relation keeps
-// its own copy of the tuple.
+// its own copy of the tuple. Inserting a duplicate performs no allocation.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	k := t.Key()
-	if _, dup := r.set[k]; dup {
+	h := hashSyms(t)
+	if r.lookup(h, t) >= 0 {
 		return false
 	}
-	r.set[k] = struct{}{}
-	row := t.Clone()
+	r.grow()
+	row := r.arena(t)
 	r.rows = append(r.rows, row)
-	for col, idx := range r.indexes {
-		idx[row[col]] = append(idx[row[col]], len(r.rows)-1)
+	r.hashes = append(r.hashes, h)
+	r.place(h, int32(len(r.rows)))
+	for _, ix := range r.indexes {
+		ix.add(row, int32(len(r.rows)-1))
 	}
 	return true
 }
 
-// Contains reports membership.
+// Contains reports membership. It never allocates.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.set[t.Key()]
-	return ok
+	return r.lookup(hashSyms(t), t) >= 0
 }
 
 // Rows returns the stored tuples in insertion order. The slice and its
 // tuples are owned by the relation; callers must not mutate them.
 func (r *Relation) Rows() []Tuple { return r.rows }
 
-// index returns (building if needed) the hash index on column col.
-func (r *Relation) index(col int) map[symtab.Sym][]int {
-	if r.indexes == nil {
-		r.indexes = make(map[int]map[symtab.Sym][]int)
+// indexOn returns (building if needed) the hash index over cols, capped at
+// maxIndexCols columns.
+func (r *Relation) indexOn(cols []int) *index {
+	if len(cols) > maxIndexCols {
+		cols = cols[:maxIndexCols]
 	}
-	idx, ok := r.indexes[col]
+	k := colsKey(cols)
+	ix, ok := r.indexes[k]
 	if !ok {
-		idx = make(map[symtab.Sym][]int)
+		ix = &index{cols: append([]int(nil), cols...), m: make(map[uint64][]int32, len(r.rows))}
 		for i, row := range r.rows {
-			idx[row[col]] = append(idx[row[col]], i)
+			ix.add(row, int32(i))
 		}
-		r.indexes[col] = idx
+		if r.indexes == nil {
+			r.indexes = make(map[uint64]*index)
+		}
+		r.indexes[k] = ix
+		r.indexBuilds++
 	}
-	return idx
+	return ix
 }
 
 // Distinct reports the number of distinct values in column col, building
@@ -154,7 +320,7 @@ func (r *Relation) Distinct(col int) int {
 	if r.Len() == 0 {
 		return 0
 	}
-	return len(r.index(col))
+	return len(r.indexOn([]int{col}).m)
 }
 
 // BuildIndex forces construction of the hash index on column col. Indexes
@@ -164,8 +330,28 @@ func (r *Relation) BuildIndex(col int) {
 	if col < 0 || col >= r.arity {
 		panic(fmt.Sprintf("relation: BuildIndex column %d out of range for arity %d", col, r.arity))
 	}
-	r.index(col)
+	r.indexOn([]int{col})
 }
+
+// BuildIndexOn forces construction of the composite hash index over cols
+// (in the given order, capped at maxIndexCols). Building an index that
+// already exists is a no-op.
+func (r *Relation) BuildIndexOn(cols ...int) {
+	if len(cols) == 0 {
+		return
+	}
+	for _, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation: BuildIndexOn column %d out of range for arity %d", c, r.arity))
+		}
+	}
+	r.indexOn(cols)
+}
+
+// IndexBuilds reports how many index constructions this relation has
+// performed (rebuilding an existing index never happens; the count exists
+// so tests can assert that).
+func (r *Relation) IndexBuilds() int { return r.indexBuilds }
 
 // Binding is a partial assignment of values to columns; NoSym entries are
 // unconstrained. It is the relational form of a tuple request: "each tuple
@@ -182,26 +368,32 @@ func (b Binding) Matches(t Tuple) bool {
 	return true
 }
 
-// Select returns the tuples matching the binding, using a column index when
-// at least one column is bound. The returned tuples are owned by r.
+// Select returns the tuples matching the binding, probing the composite
+// index over all bound columns (so a k-column binding is one hash lookup,
+// not an index probe plus a filter scan). The returned tuples are owned by
+// r. Note the index over the bound-column set is built on first use; see
+// the concurrency note on Relation.
 func (r *Relation) Select(b Binding) []Tuple {
 	if len(b) != r.arity {
 		panic(fmt.Sprintf("relation: select binding arity %d on arity-%d relation", len(b), r.arity))
 	}
-	col := -1
+	var colsBuf [maxIndexCols]int
+	var valsBuf [maxIndexCols]symtab.Sym
+	cols := colsBuf[:0]
 	for i, v := range b {
-		if v != symtab.NoSym {
-			col = i
-			break
+		if v != symtab.NoSym && len(cols) < maxIndexCols {
+			valsBuf[len(cols)] = v
+			cols = append(cols, i)
 		}
 	}
-	var out []Tuple
-	if col < 0 {
+	if len(cols) == 0 {
 		return r.rows
 	}
-	for _, i := range r.index(col)[b[col]] {
-		if b.Matches(r.rows[i]) {
-			out = append(out, r.rows[i])
+	ix := r.indexOn(cols)
+	var out []Tuple
+	for _, ord := range ix.probe(valsBuf[:len(cols)]) {
+		if b.Matches(r.rows[ord]) {
+			out = append(out, r.rows[ord])
 		}
 	}
 	return out
@@ -239,9 +431,27 @@ func (r *Relation) Union(s *Relation) int {
 // right column R.
 type EqPair struct{ L, R int }
 
+// eqAll verifies every join equality between a (left) and b (right). Probes
+// through a composite index still verify: the index key is a hash, and
+// pairs beyond maxIndexCols are not part of the key at all.
+func eqAll(a, b Tuple, on []EqPair) bool {
+	for _, p := range on {
+		if a[p.L] != b[p.R] {
+			return false
+		}
+	}
+	return true
+}
+
 // Join computes the equijoin of r and s on the given column pairs. The
 // result schema is r's columns followed by s's columns. With no pairs it is
-// the cross product. The smaller operand's first join column is hash-indexed.
+// the cross product.
+//
+// Build-side heuristic: the smaller operand is hash-indexed on its full
+// join-column list and each tuple of the larger operand probes it once —
+// indexing the smaller side costs less to build and keeps the per-probe
+// candidate lists short, and streaming the larger side touches every tuple
+// exactly once either way.
 func Join(r, s *Relation, on []EqPair) *Relation {
 	out := New(r.arity + s.arity)
 	if r.Len() == 0 || s.Len() == 0 {
@@ -261,19 +471,41 @@ func Join(r, s *Relation, on []EqPair) *Relation {
 		}
 		return out
 	}
-	// Probe the right side through an index on its first join column.
-	idx := s.index(on[0].R)
-	for _, a := range r.rows {
-		for _, j := range idx[a[on[0].L]] {
-			b := s.rows[j]
-			ok := true
-			for _, p := range on[1:] {
-				if a[p.L] != b[p.R] {
-					ok = false
-					break
+	n := len(on)
+	if n > maxIndexCols {
+		n = maxIndexCols
+	}
+	var colsBuf [maxIndexCols]int
+	var valsBuf [maxIndexCols]symtab.Sym
+	if r.Len() < s.Len() {
+		// r is smaller: index r on the left columns, stream s through it.
+		for i := 0; i < n; i++ {
+			colsBuf[i] = on[i].L
+		}
+		ix := r.indexOn(colsBuf[:n])
+		for _, b := range s.rows {
+			for i := 0; i < n; i++ {
+				valsBuf[i] = b[on[i].R]
+			}
+			for _, ord := range ix.probe(valsBuf[:n]) {
+				if a := r.rows[ord]; eqAll(a, b, on) {
+					emit(a, b)
 				}
 			}
-			if ok {
+		}
+		return out
+	}
+	// s is smaller (or equal): index s on the right columns, stream r.
+	for i := 0; i < n; i++ {
+		colsBuf[i] = on[i].R
+	}
+	ix := s.indexOn(colsBuf[:n])
+	for _, a := range r.rows {
+		for i := 0; i < n; i++ {
+			valsBuf[i] = a[on[i].L]
+		}
+		for _, ord := range ix.probe(valsBuf[:n]) {
+			if b := s.rows[ord]; eqAll(a, b, on) {
 				emit(a, b)
 			}
 		}
@@ -284,7 +516,8 @@ func Join(r, s *Relation, on []EqPair) *Relation {
 // SemiJoin returns the tuples of r that join with at least one tuple of s
 // on the given pairs. This is the operation a class "d" argument performs:
 // it "functions as a semi-join operand" restricting the computed part of an
-// intermediate relation (§1.2).
+// intermediate relation (§1.2). Every tuple of r must be considered, so s
+// is always the indexed side: one composite probe per tuple of r.
 func SemiJoin(r, s *Relation, on []EqPair) *Relation {
 	out := New(r.arity)
 	if len(on) == 0 {
@@ -293,18 +526,28 @@ func SemiJoin(r, s *Relation, on []EqPair) *Relation {
 		}
 		return out
 	}
-	idx := s.index(on[0].R)
+	if r.Len() == 0 || s.Len() == 0 {
+		return out
+	}
+	n := len(on)
+	if n > maxIndexCols {
+		n = maxIndexCols
+	}
+	var colsBuf [maxIndexCols]int
+	var valsBuf [maxIndexCols]symtab.Sym
+	for i := 0; i < n; i++ {
+		colsBuf[i] = on[i].R
+	}
+	ix := s.indexOn(colsBuf[:n])
 	for _, a := range r.rows {
-	probe:
-		for _, j := range idx[a[on[0].L]] {
-			b := s.rows[j]
-			for _, p := range on[1:] {
-				if a[p.L] != b[p.R] {
-					continue probe
-				}
+		for i := 0; i < n; i++ {
+			valsBuf[i] = a[on[i].L]
+		}
+		for _, ord := range ix.probe(valsBuf[:n]) {
+			if eqAll(a, s.rows[ord], on) {
+				out.Insert(a)
+				break
 			}
-			out.Insert(a)
-			break
 		}
 	}
 	return out

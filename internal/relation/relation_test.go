@@ -324,3 +324,138 @@ func TestQuickSelectMatchesScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCompositeIndexMaintenance builds single and composite indexes up
+// front, keeps inserting, and checks probes see every new row.
+func TestCompositeIndexMaintenance(t *testing.T) {
+	r := New(3)
+	r.Insert(tup(1, 2, 3))
+	r.BuildIndex(0)
+	r.BuildIndexOn(0, 2)
+	builds := r.IndexBuilds()
+	for i := symtab.Sym(1); i <= 50; i++ {
+		r.Insert(tup(1, i, 3))
+		r.Insert(tup(2, i, 4))
+	}
+	if n := len(r.Select(Binding{1, symtab.NoSym, symtab.NoSym})); n != 50 {
+		t.Errorf("single-column probe after inserts: %d rows, want 50", n)
+	}
+	if n := len(r.Select(Binding{1, symtab.NoSym, 3})); n != 50 {
+		t.Errorf("composite probe after inserts: %d rows, want 50", n)
+	}
+	if n := len(r.Select(Binding{2, symtab.NoSym, 4})); n != 50 {
+		t.Errorf("composite probe on second group: %d rows, want 50", n)
+	}
+	if r.IndexBuilds() != builds {
+		t.Errorf("probing rebuilt indexes: %d builds, want %d", r.IndexBuilds(), builds)
+	}
+	r.BuildIndexOn(0, 2) // already exists: must be a no-op
+	if r.IndexBuilds() != builds {
+		t.Error("BuildIndexOn of an existing index rebuilt it")
+	}
+}
+
+// TestZeroArityIndexEdgeCases checks the arity-0 relation tolerates the
+// index entry points that are meaningful for it.
+func TestZeroArityIndexEdgeCases(t *testing.T) {
+	r := New(0)
+	r.BuildIndexOn() // no columns: nothing to build
+	if r.IndexBuilds() != 0 {
+		t.Error("BuildIndexOn() built an index on arity 0")
+	}
+	r.Insert(Tuple{})
+	if got := r.Select(Binding{}); len(got) != 1 {
+		t.Errorf("arity-0 Select = %d rows, want 1", len(got))
+	}
+	if !r.Contains(Tuple{}) {
+		t.Error("arity-0 Contains failed after insert")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BuildIndexOn(0) on arity-0 relation did not panic")
+			}
+		}()
+		r.BuildIndexOn(0)
+	}()
+}
+
+// TestDuplicateInsertZeroAllocs pins the tentpole claim: inserting a
+// duplicate tuple allocates nothing.
+func TestDuplicateInsertZeroAllocs(t *testing.T) {
+	r := New(3)
+	for i := symtab.Sym(1); i <= 100; i++ {
+		r.Insert(tup(i, i+1, i+2))
+	}
+	probe := tup(7, 8, 9)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Insert(probe) {
+			t.Fatal("duplicate insert reported new")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate Insert allocates %.1f times per op, want 0", allocs)
+	}
+	if contAllocs := testing.AllocsPerRun(1000, func() { r.Contains(probe) }); contAllocs != 0 {
+		t.Errorf("Contains allocates %.1f times per op, want 0", contAllocs)
+	}
+}
+
+// TestJoinProbeSideSelection pins the build-side heuristic: the smaller
+// relation gets the index, so joining a tiny relation against a large one
+// builds no index on the large side.
+func TestJoinProbeSideSelection(t *testing.T) {
+	small, large := New(2), New(2)
+	for i := symtab.Sym(1); i <= 3; i++ {
+		small.Insert(tup(i, i))
+	}
+	for i := symtab.Sym(1); i <= 200; i++ {
+		large.Insert(tup(i, i%5+1))
+	}
+	j := Join(large, small, []EqPair{{L: 1, R: 0}})
+	if large.IndexBuilds() != 0 {
+		t.Errorf("join indexed the larger side (%d builds)", large.IndexBuilds())
+	}
+	if small.IndexBuilds() != 1 {
+		t.Errorf("join did not index the smaller side (%d builds)", small.IndexBuilds())
+	}
+	// Cross-check against nested loop.
+	slow := New(4)
+	for _, a := range large.Rows() {
+		for _, b := range small.Rows() {
+			if a[1] == b[0] {
+				slow.Insert(tup(a[0], a[1], b[0], b[1]))
+			}
+		}
+	}
+	if !Equal(j, slow) {
+		t.Errorf("swapped-build join wrong: %d rows, want %d", j.Len(), slow.Len())
+	}
+}
+
+// TestQuickJoinTwoPairsMatchesNestedLoop covers the composite-index path of
+// Join (two equality pairs, one probe) against a naive nested loop.
+func TestQuickJoinTwoPairsMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, s := New(3), New(3)
+		for i := 0; i < 25; i++ {
+			r.Insert(tup(symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3))))
+			s.Insert(tup(symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3)), symtab.Sym(1+rng.Intn(3))))
+		}
+		on := []EqPair{{L: 0, R: 1}, {L: 2, R: 2}}
+		fast := Join(r, s, on)
+		slow := New(6)
+		for _, a := range r.Rows() {
+			for _, b := range s.Rows() {
+				if a[0] == b[1] && a[2] == b[2] {
+					slow.Insert(tup(a[0], a[1], a[2], b[0], b[1], b[2]))
+				}
+			}
+		}
+		return Equal(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -13,26 +13,36 @@ import (
 // Stats is a set of monotone counters. The zero value is ready to use.
 // All methods are safe for concurrent use.
 type Stats struct {
-	relReqs   atomic.Int64
-	tupReqs   atomic.Int64
-	tuples    atomic.Int64
-	ends      atomic.Int64
-	reqEnds   atomic.Int64
-	protocol  atomic.Int64 // end request/negative/confirmed + nudges
-	rounds    atomic.Int64 // termination protocol rounds originated
-	derived   atomic.Int64 // head tuples derived at rule nodes (before dedup)
-	stored    atomic.Int64 // new tuples stored at goal nodes
-	dups      atomic.Int64 // duplicate tuples discarded
-	joins     atomic.Int64 // join probe candidates examined
-	edbScans  atomic.Int64 // EDB selections performed
-	edbTuples atomic.Int64 // tuples read from the EDB
+	relReqs    atomic.Int64
+	tupReqs    atomic.Int64
+	tupReqRows atomic.Int64 // bindings carried inside tuple-request messages
+	tuples     atomic.Int64
+	batches    atomic.Int64 // TupleBatch messages
+	tupleRows  atomic.Int64 // rows delivered, via Tuple or TupleBatch
+	ends       atomic.Int64
+	reqEnds    atomic.Int64
+	protocol   atomic.Int64 // end request/negative/confirmed + nudges
+	rounds     atomic.Int64 // termination protocol rounds originated
+	derived    atomic.Int64 // head tuples derived at rule nodes (before dedup)
+	stored     atomic.Int64 // new tuples stored at goal nodes
+	dups       atomic.Int64 // duplicate tuples discarded
+	joins      atomic.Int64 // join probe candidates examined
+	edbScans   atomic.Int64 // EDB selections performed
+	edbTuples  atomic.Int64 // tuples read from the EDB
 }
 
 // Counter increment hooks, one per event the engine reports.
 
-func (s *Stats) RelReq()         { s.relReqs.Add(1) }
-func (s *Stats) TupReq()         { s.tupReqs.Add(1) }
-func (s *Stats) TupleMsg()       { s.tuples.Add(1) }
+func (s *Stats) RelReq() { s.relReqs.Add(1) }
+func (s *Stats) TupReq() { s.tupReqs.Add(1) }
+func (s *Stats) TupReqRows(n int) {
+	s.tupReqRows.Add(int64(n))
+}
+func (s *Stats) TupleMsg() { s.tuples.Add(1); s.tupleRows.Add(1) }
+func (s *Stats) TupleBatchMsg(rows int) {
+	s.batches.Add(1)
+	s.tupleRows.Add(int64(rows))
+}
 func (s *Stats) EndMsg()         { s.ends.Add(1) }
 func (s *Stats) ReqEndMsg()      { s.reqEnds.Add(1) }
 func (s *Stats) ProtocolMsg()    { s.protocol.Add(1) }
@@ -47,41 +57,49 @@ func (s *Stats) EDBTuples(n int) { s.edbTuples.Add(int64(n)) }
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
 	RelReqs, TupReqs, Tuples, Ends, ReqEnds int64
-	Protocol, Rounds                        int64
-	Derived, Stored, Dups                   int64
-	Joins, EDBScans, EDBTuples              int64
+	// TupReqRows and TupleRows count the rows carried by (possibly
+	// packaged) tuple requests and (possibly batched) tuple deliveries, so
+	// message counts stay interpretable when batching collapses many rows
+	// into one message. TupleBatches counts TupleBatch messages.
+	TupReqRows, TupleBatches, TupleRows int64
+	Protocol, Rounds                    int64
+	Derived, Stored, Dups               int64
+	Joins, EDBScans, EDBTuples          int64
 }
 
 // Snapshot reads every counter.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		RelReqs:   s.relReqs.Load(),
-		TupReqs:   s.tupReqs.Load(),
-		Tuples:    s.tuples.Load(),
-		Ends:      s.ends.Load(),
-		ReqEnds:   s.reqEnds.Load(),
-		Protocol:  s.protocol.Load(),
-		Rounds:    s.rounds.Load(),
-		Derived:   s.derived.Load(),
-		Stored:    s.stored.Load(),
-		Dups:      s.dups.Load(),
-		Joins:     s.joins.Load(),
-		EDBScans:  s.edbScans.Load(),
-		EDBTuples: s.edbTuples.Load(),
+		RelReqs:      s.relReqs.Load(),
+		TupReqs:      s.tupReqs.Load(),
+		TupReqRows:   s.tupReqRows.Load(),
+		Tuples:       s.tuples.Load(),
+		TupleBatches: s.batches.Load(),
+		TupleRows:    s.tupleRows.Load(),
+		Ends:         s.ends.Load(),
+		ReqEnds:      s.reqEnds.Load(),
+		Protocol:     s.protocol.Load(),
+		Rounds:       s.rounds.Load(),
+		Derived:      s.derived.Load(),
+		Stored:       s.stored.Load(),
+		Dups:         s.dups.Load(),
+		Joins:        s.joins.Load(),
+		EDBScans:     s.edbScans.Load(),
+		EDBTuples:    s.edbTuples.Load(),
 	}
 }
 
 // Messages is the total count of basic messages (§3.1): relation requests,
-// tuple requests, tuples, ends, and request-ends.
+// tuple requests, tuples (single and batched), ends, and request-ends.
 func (sn Snapshot) Messages() int64 {
-	return sn.RelReqs + sn.TupReqs + sn.Tuples + sn.Ends + sn.ReqEnds
+	return sn.RelReqs + sn.TupReqs + sn.Tuples + sn.TupleBatches + sn.Ends + sn.ReqEnds
 }
 
 // String renders the snapshot as a single diagnostic line.
 func (sn Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "msgs=%d (relreq=%d tupreq=%d tuple=%d end=%d reqend=%d)",
-		sn.Messages(), sn.RelReqs, sn.TupReqs, sn.Tuples, sn.Ends, sn.ReqEnds)
+	fmt.Fprintf(&b, "msgs=%d (relreq=%d tupreq=%d/%drows tuple=%d batch=%d/%drows end=%d reqend=%d)",
+		sn.Messages(), sn.RelReqs, sn.TupReqs, sn.TupReqRows, sn.Tuples, sn.TupleBatches, sn.TupleRows, sn.Ends, sn.ReqEnds)
 	fmt.Fprintf(&b, " protocol=%d rounds=%d", sn.Protocol, sn.Rounds)
 	fmt.Fprintf(&b, " derived=%d stored=%d dups=%d joins=%d edbscans=%d edbtuples=%d",
 		sn.Derived, sn.Stored, sn.Dups, sn.Joins, sn.EDBScans, sn.EDBTuples)

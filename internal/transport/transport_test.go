@@ -244,6 +244,9 @@ func TestTCPDialFailure(t *testing.T) {
 }
 
 func TestTCPPeerConnectionLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a real re-dial timeout (~10s)")
+	}
 	hosts := []int{0, 1}
 	localB := NewLocal(2)
 	siteB, err := NewTCP(1, []string{"", "127.0.0.1:0"}, hosts, localB)
@@ -289,4 +292,51 @@ func TestTCPAddr(t *testing.T) {
 		t.Errorf("Addr = %q", site.Addr())
 	}
 	_ = fmt.Sprint(site.Addr())
+}
+
+// TestTCPTupleBatchSingleFrame checks a TupleBatch crosses the wire as one
+// message (one gob frame), payload intact, ordered with surrounding
+// traffic.
+func TestTCPTupleBatchSingleFrame(t *testing.T) {
+	hosts := []int{0, 1}
+	localA, localB := NewLocal(2), NewLocal(2)
+	siteB, err := NewTCP(1, []string{"127.0.0.1:0", "127.0.0.1:0"}, hosts, localB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteB.Close()
+	siteA, err := NewTCP(0, []string{"127.0.0.1:0", siteB.Addr()}, hosts, localA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteA.Close()
+
+	const rows, width = 100, 3
+	vals := make([]symtab.Sym, 0, rows*width)
+	for i := 0; i < rows*width; i++ {
+		vals = append(vals, symtab.Sym(i+1))
+	}
+	siteA.Send(msg.Message{Kind: msg.Tuple, From: 0, To: 1, Vals: vals[:width]})
+	siteA.Send(msg.Message{Kind: msg.TupleBatch, From: 0, To: 1, Vals: vals, Count: rows})
+	siteA.Send(msg.Message{Kind: msg.End, From: 0, To: 1, N: 1})
+
+	first, ok := localB.Boxes[1].Get()
+	if !ok || first.Kind != msg.Tuple {
+		t.Fatalf("first message = %v", first)
+	}
+	batch, ok := localB.Boxes[1].Get()
+	if !ok || batch.Kind != msg.TupleBatch {
+		t.Fatalf("second message = %v, want one TupleBatch", batch)
+	}
+	if batch.Count != rows || len(batch.Vals) != rows*width {
+		t.Fatalf("batch carried %d rows / %d vals, want %d / %d", batch.Count, len(batch.Vals), rows, rows*width)
+	}
+	for i, v := range batch.Vals {
+		if v != symtab.Sym(i+1) {
+			t.Fatalf("batch payload corrupted at %d: %v", i, v)
+		}
+	}
+	if end, ok := localB.Boxes[1].Get(); !ok || end.Kind != msg.End {
+		t.Fatalf("third message = %v, want the End after the batch", end)
+	}
 }
