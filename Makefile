@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-short bench
+.PHONY: build test check check-short chaos bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ check:
 # Same gate with -short: skips the soak/stress/timeout-bound tests.
 check-short:
 	./scripts/check.sh -short
+
+# Failure-handling suite only (fault injection, heartbeats, kills, the
+# chaos soak), run twice under the race detector.
+chaos:
+	./scripts/check.sh chaos
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1s .

@@ -45,6 +45,7 @@ func main() {
 	graph := flag.Bool("graph", false, "print the rule/goal graph before evaluating")
 	interactive := flag.Bool("i", false, "interactive session")
 	traceMsgs := flag.Bool("trace", false, "log every engine message to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock time (message-passing engine; 0 = none)")
 	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
 	var data dataFlags
 	flag.Var(&data, "data", "load pred=file.csv facts (repeatable)")
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *traceMsgs {
 		opts = append(opts, mpq.WithTrace(os.Stderr))
+	}
+	if *timeout > 0 {
+		opts = append(opts, mpq.WithDeadline(*timeout))
 	}
 
 	if *interactive {

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/engine"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -33,6 +35,12 @@ func main() {
 	addrList := flag.String("addrs", "", "comma-separated listen addresses, one per site, in site order")
 	strategy := flag.String("strategy", "greedy", "information passing strategy")
 	stats := flag.Bool("stats", false, "print execution statistics (driver site)")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "total window for (re)connecting to a peer site before declaring it down")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "liveness heartbeat interval per peer connection (0 disables heartbeats)")
+	maxBackoff := flag.Duration("max-backoff", time.Second, "cap on the exponential reconnect backoff")
+	deadline := flag.Duration("deadline", 0, "abort the query after this wall-clock time (0 = no deadline)")
+	chaos := flag.String("chaos", "", "fault-injection spec: 'delay:FROM-TO:D[:JITTER];cut:FROM-TO:N[:HEAL];crash:SITE:N' ('*' = any site)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for deterministic chaos jitter")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -51,16 +59,67 @@ func main() {
 	}
 	hosts := engine.Partition(g, len(addrs))
 
+	st := &trace.Stats{}
+	cfg := transport.Config{
+		DialTimeout:       *dialTimeout,
+		HeartbeatInterval: *heartbeat,
+		MaxBackoff:        *maxBackoff,
+		Stats:             st,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mpqd: "+format+"\n", args...)
+		},
+	}
+	if *heartbeat == 0 {
+		cfg.HeartbeatInterval = transport.NoHeartbeat
+	}
+
 	local := transport.NewLocal(len(g.Nodes) + 1)
-	net, err := transport.NewTCP(*site, addrs, hosts, local)
+	tcp, err := transport.NewTCPConfig(*site, addrs, hosts, local, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	defer net.Close()
+	defer tcp.Close()
 	fmt.Fprintf(os.Stderr, "mpqd: site %d listening on %s, hosting %d of %d nodes\n",
-		*site, net.Addr(), count(hosts[:len(g.Nodes)], *site), len(g.Nodes))
+		*site, tcp.Addr(), count(hosts[:len(g.Nodes)], *site), len(g.Nodes))
 
-	res, err := engine.RunSites(g, sys.DB, net, local, hosts, *site, engine.Options{})
+	// Merge transport failure events (and, under -chaos, injected crashes)
+	// into one channel for the engine's watchdog.
+	down := make(chan transport.PeerDown, len(addrs)+1)
+	forward := func(ch <-chan transport.PeerDown) {
+		go func() {
+			for pd := range ch {
+				select {
+				case down <- pd:
+				default:
+				}
+			}
+		}()
+	}
+	forward(tcp.Down())
+
+	var net transport.Network = tcp
+	if *chaos != "" {
+		links, crashes, err := transport.ParseChaos(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		fn := transport.NewFaultNet(tcp, hosts, *chaosSeed)
+		fn.Stats = st
+		for _, l := range links {
+			fn.AddLink(l)
+		}
+		for _, c := range crashes {
+			fn.AddCrash(c)
+		}
+		// Crashing our own site means this daemon's processes die too.
+		fn.OnCrash(*site, func() { local.Close() })
+		forward(fn.Down())
+		defer fn.Close()
+		net = fn
+	}
+
+	opts := engine.Options{Stats: st, Deadline: *deadline, PeerDown: down}
+	res, err := engine.RunSites(g, sys.DB, net, local, hosts, *site, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// Typed evaluation failures. Before these existed, a dead site or a stuck
+// query left every process blocked in Mailbox.Get forever; now the engine
+// detects the condition, broadcasts msg.Abort so all sites drain and exit,
+// and Run/RunSites return one of these (test with errors.Is).
+var (
+	// ErrSiteDown: a peer site was declared unreachable by the transport
+	// (heartbeat loss followed by a failed reconnect window, or an
+	// injected FaultNet crash).
+	ErrSiteDown = errors.New("engine: site down")
+	// ErrDeadline: the evaluation exceeded Options.Deadline.
+	ErrDeadline = errors.New("engine: deadline exceeded")
+	// ErrCancelled: Options.Cancel was closed by the caller.
+	ErrCancelled = errors.New("engine: evaluation cancelled")
+	// ErrNodePanic: a node process panicked; the error note carries the
+	// node and stack trace instead of the panic killing the whole site.
+	ErrNodePanic = errors.New("engine: node process panicked")
+	// ErrAborted: the query was aborted for an unrecognized reason (an
+	// Abort message from a newer/older site, normally impossible).
+	ErrAborted = errors.New("engine: evaluation aborted")
+)
+
+// abortReasonError maps a msg.Abort reason code to the typed error.
+func abortReasonError(reason uint8, note string) error {
+	var base error
+	switch reason {
+	case msg.AbortSiteDown:
+		base = ErrSiteDown
+	case msg.AbortDeadline:
+		base = ErrDeadline
+	case msg.AbortPanic:
+		base = ErrNodePanic
+	case msg.AbortCancelled:
+		base = ErrCancelled
+	default:
+		base = ErrAborted
+	}
+	if note == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, note)
+}
+
+// abort aborts the evaluation exactly once per runner: it records the
+// typed error, counts the abort, and broadcasts msg.Abort to every node
+// process and the driver. Local deliveries happen synchronously (a mailbox
+// Put cannot block), remote ones in the background (a send to an already-
+// dead site may wait out a dial window; it must not delay local
+// shutdown). Every site that observes an Abort relays it once through this
+// same path, so a partially delivered broadcast still reaches every
+// process whose site is alive — and the per-site once-guard bounds the
+// echo at sites × nodes messages.
+func (rt *runner) abort(reason uint8, note string) {
+	rt.abortMu.Lock()
+	if rt.abortErr != nil || rt.abortOff {
+		rt.abortMu.Unlock()
+		return
+	}
+	rt.abortErr = abortReasonError(reason, note)
+	rt.abortMu.Unlock()
+	rt.stats.Abort()
+
+	// The broadcast's From must be a node hosted on THIS site: fault
+	// injection (and tracing) attributes a message to its sender's site, and
+	// a site aborting itself must not have its own local Aborts classified
+	// as cross-site traffic (which a cut link would swallow, resurrecting
+	// the hang this mechanism exists to prevent).
+	origin := rt.driver
+	if rt.hosts != nil {
+		for id := 0; id <= rt.driver; id++ {
+			if rt.hosts[id] == rt.site {
+				origin = id
+				break
+			}
+		}
+	}
+	var remote []int
+	for id := 0; id <= rt.driver; id++ {
+		if rt.hosts == nil || rt.hosts[id] == rt.site {
+			rt.send(msg.Message{Kind: msg.Abort, From: origin, To: id, Reason: reason, Note: note})
+		} else {
+			remote = append(remote, id)
+		}
+	}
+	if len(remote) > 0 {
+		go func() {
+			// One Abort per remote *site* would suffice for detection, but
+			// per-node delivery lets every remote process exit without its
+			// site relaying; sends to dead sites drop fast after the first.
+			for _, id := range remote {
+				rt.send(msg.Message{Kind: msg.Abort, From: origin, To: id, Reason: reason, Note: note})
+			}
+		}()
+	}
+}
+
+// abortError returns the recorded abort error, nil if the evaluation was
+// not aborted.
+func (rt *runner) abortError() error {
+	rt.abortMu.Lock()
+	defer rt.abortMu.Unlock()
+	return rt.abortErr
+}
+
+// startWatch launches the failure watchdog for this site: it aborts the
+// evaluation when the wall-clock deadline passes, the caller cancels, or
+// the transport reports a peer site down. The returned stop function ends
+// the watchdog on normal completion. Two costs are deliberately kept off
+// the per-query path (experiment A4): the deadline is a time.AfterFunc —
+// no goroutine parked on a timer channel — and stop does not wait for the
+// watcher goroutine to exit; it latches abortOff first, so a watchdog
+// firing after completion is a recorded no-op that unwinds in the
+// background.
+func (rt *runner) startWatch(opts Options) (stop func()) {
+	var tm *time.Timer
+	if opts.Deadline > 0 {
+		d := opts.Deadline
+		tm = time.AfterFunc(d, func() {
+			rt.abort(msg.AbortDeadline, fmt.Sprintf("after %v", d))
+		})
+	}
+	var stopCh chan struct{}
+	if opts.Cancel != nil || opts.PeerDown != nil {
+		stopCh = make(chan struct{})
+		go func() {
+			select {
+			case <-stopCh:
+			case <-opts.Cancel:
+				rt.abort(msg.AbortCancelled, "cancelled by caller")
+			case pd, ok := <-opts.PeerDown:
+				if !ok {
+					<-stopCh // channel closed without an event; keep waiting
+					return
+				}
+				rt.abort(msg.AbortSiteDown, fmt.Sprintf("site %d: %v", pd.Site, pd.Err))
+			}
+		}()
+	}
+	if tm == nil && stopCh == nil {
+		return func() {}
+	}
+	return func() {
+		rt.abortMu.Lock()
+		rt.abortOff = true
+		rt.abortMu.Unlock()
+		if tm != nil {
+			tm.Stop()
+		}
+		if stopCh != nil {
+			close(stopCh)
+		}
+	}
+}

@@ -25,6 +25,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -64,6 +65,21 @@ type Options struct {
 	// processes overlap these waits, sequential evaluation cannot. Zero
 	// (the default) disables the simulation.
 	EDBDelay time.Duration
+	// Deadline, when positive, bounds the evaluation in wall-clock time:
+	// when it expires the query is aborted everywhere (an Abort message is
+	// broadcast to every node process) and Run/RunSites return ErrDeadline
+	// instead of hanging.
+	Deadline time.Duration
+	// Cancel, when non-nil, aborts the evaluation when closed; Run returns
+	// ErrCancelled. (RunStream's yield-false is still the graceful early
+	// exit; Cancel is the emergency stop usable from any goroutine.)
+	Cancel <-chan struct{}
+	// PeerDown, when non-nil, delivers transport failure events
+	// (transport.TCP.Down or transport.FaultNet.Down). The first event
+	// aborts the query and RunSites returns ErrSiteDown. Each site should
+	// pass its own transport's channel so that every site unblocks even if
+	// Abort messages to it are lost.
+	PeerDown <-chan transport.PeerDown
 }
 
 // Run evaluates the graph's query against the database with every node
@@ -80,17 +96,23 @@ func Run(g *rgg.Graph, db *edb.Database, opts Options) (*Result, error) {
 func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation.Tuple) bool) (*Result, error) {
 	n := len(g.Nodes)
 	local := transport.NewLocal(n + 1) // +1: the driver's mailbox
-	rt, err := newRunner(g, db, local, opts)
+	rt, err := newRunner(g, db, local, opts, nil, 0)
 	if err != nil {
 		return nil, err
 	}
+	stop := rt.startWatch(opts)
 	for id := range g.Nodes {
 		rt.startProc(id, local.Boxes[id])
 	}
-	res := rt.driveStream(local.Boxes[n], yield)
+	answers, runErr := rt.driveStream(local.Boxes[n], yield)
+	stop()
 	local.Close() // unblocks any process still waiting after Shutdown races
 	rt.wg.Wait()
-	return res, nil
+	rt.stats.DroppedPuts(local.Dropped())
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{Answers: answers, Stats: rt.stats.Snapshot()}, nil
 }
 
 // RunSites evaluates the graph with node processes partitioned across
@@ -117,22 +139,34 @@ func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *tran
 			}
 		}
 	}
-	rt, err := newRunner(g, db, net, opts)
+	rt, err := newRunner(g, db, net, opts, hosts, site)
 	if err != nil {
 		return nil, err
 	}
+	stop := rt.startWatch(opts)
 	for id := range g.Nodes {
 		if hosts[id] == site {
 			rt.startProc(id, local.Boxes[id])
 		}
 	}
 	if hosts[len(g.Nodes)] == site {
-		res := rt.drive(local.Boxes[len(g.Nodes)])
+		answers, runErr := rt.drive(local.Boxes[len(g.Nodes)])
+		stop()
 		rt.wg.Wait()
-		return res, nil
+		rt.stats.DroppedPuts(local.Dropped())
+		if runErr != nil {
+			return nil, runErr
+		}
+		return &Result{Answers: answers, Stats: rt.stats.Snapshot()}, nil
 	}
+	// Non-driver site: wait for this site's processes to exit (Shutdown
+	// from the driver, or an Abort). The watchdog covers this wait too, so
+	// a dead driver site cannot leave us blocked forever when a deadline or
+	// PeerDown channel is configured.
 	rt.wg.Wait()
-	return nil, nil
+	stop()
+	rt.stats.DroppedPuts(local.Dropped())
+	return nil, rt.abortError()
 }
 
 // Partition assigns graph nodes to sites such that each nontrivial strong
@@ -172,16 +206,29 @@ type runner struct {
 	traceW   io.Writer
 	traceMu  sync.Mutex
 	wg       sync.WaitGroup
+
+	// hosts/site describe the node→site partition for multi-site runs (nil
+	// hosts means everything is local); abort uses them to deliver Abort
+	// messages to local mailboxes synchronously but remote sites in the
+	// background. abortErr records the first abort's typed error; abortOff
+	// marks the evaluation complete, turning any later abort into a no-op.
+	hosts    []int
+	site     int
+	abortMu  sync.Mutex
+	abortErr error
+	abortOff bool
 }
 
-func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Options) (*runner, error) {
+func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Options,
+	hosts []int, site int) (*runner, error) {
 	stats := opts.Stats
 	if stats == nil {
 		stats = &trace.Stats{}
 	}
 	db.WarmIndexesFor(edbIndexNeeds(g))
 	return &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
-		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace}, nil
+		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace,
+		hosts: hosts, site: site}, nil
 }
 
 // edbIndexNeeds lists the composite indexes evaluation will probe on the
@@ -223,6 +270,16 @@ func (rt *runner) startProc(id int, box *transport.Mailbox) {
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
+		// A panicking node process must not take down the whole site (in
+		// mpqd, other queries' sites) or leave its peers blocked forever:
+		// convert the panic into an abort so every process drains and the
+		// driver returns ErrNodePanic carrying the stack.
+		defer func() {
+			if r := recover(); r != nil {
+				rt.abort(msg.AbortPanic, fmt.Sprintf("node %d (%s): %v\n%s",
+					id, rt.g.Nodes[id].Adorned(), r, debug.Stack()))
+			}
+		}()
 		p.loop()
 	}()
 }
@@ -230,11 +287,11 @@ func (rt *runner) startProc(id int, box *transport.Mailbox) {
 // drive plays the user process: it issues the top-level relation request,
 // collects goal tuples until the root's final end message, then shuts the
 // network down.
-func (rt *runner) drive(box *transport.Mailbox) *Result {
+func (rt *runner) drive(box *transport.Mailbox) (*relation.Relation, error) {
 	return rt.driveStream(box, nil)
 }
 
-func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple) bool) *Result {
+func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple) bool) (*relation.Relation, error) {
 	rt.send(msg.Message{Kind: msg.RelReq, From: rt.driver, To: rt.g.Root})
 	rt.send(msg.Message{Kind: msg.ReqEnd, From: rt.driver, To: rt.g.Root})
 
@@ -264,13 +321,21 @@ func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple)
 			if m.All {
 				goto done
 			}
+		case msg.Abort:
+			// Either relayed from another site's failure or injected by our
+			// own watchdog; abort() is a no-op if already recorded.
+			rt.abort(m.Reason, m.Note)
+			goto done
 		}
 	}
 done:
 	for id := range rt.g.Nodes {
 		rt.send(msg.Message{Kind: msg.Shutdown, From: rt.driver, To: id})
 	}
-	return &Result{Answers: answers, Stats: rt.stats.Snapshot()}
+	if err := rt.abortError(); err != nil {
+		return nil, err
+	}
+	return answers, nil
 }
 
 // send dispatches a message and records it.

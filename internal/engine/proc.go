@@ -166,6 +166,13 @@ func (p *proc) loop() {
 		if !ok || m.Kind == msg.Shutdown {
 			return
 		}
+		if m.Kind == msg.Abort {
+			// Record + relay (once per site) so sibling processes exit even
+			// if the originator's broadcast only partially arrived, then die
+			// without flushing: the query's answers no longer matter.
+			p.rt.abort(m.Reason, m.Note)
+			return
+		}
 		if !isWork(m.Kind) {
 			p.flushAll()
 		}

@@ -40,7 +40,7 @@ func newSchedRunner(t *testing.T, src string, seed int64, opts Options) (*schedR
 		t.Fatal(err)
 	}
 	local := transport.NewLocal(len(g.Nodes) + 1)
-	rt, err := newRunner(g, db, local, opts)
+	rt, err := newRunner(g, db, local, opts, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

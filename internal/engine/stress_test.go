@@ -48,7 +48,7 @@ func runJittered(t *testing.T, src string, seed int64, maxDelay time.Duration) *
 	}
 	local := transport.NewLocal(len(g.Nodes) + 1)
 	net := &jitterNet{local: local, rng: rand.New(rand.NewSource(seed)), maxNs: int64(maxDelay)}
-	rt, err := newRunner(g, db, net, Options{})
+	rt, err := newRunner(g, db, net, Options{}, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +58,13 @@ func runJittered(t *testing.T, src string, seed int64, maxDelay time.Duration) *
 	type out struct{ res *Result }
 	ch := make(chan out, 1)
 	go func() {
-		res := rt.drive(local.Boxes[len(g.Nodes)])
+		answers, err := rt.drive(local.Boxes[len(g.Nodes)])
+		if err != nil {
+			t.Error(err)
+		}
 		rt.wg.Wait()
 		local.Close()
-		ch <- out{res}
+		ch <- out{&Result{Answers: answers, Stats: rt.stats.Snapshot()}}
 	}()
 	select {
 	case o := <-ch:

@@ -61,11 +61,58 @@ const (
 	// exactly Count consecutive Tuple messages from the same sender (see
 	// doc/PROTOCOL.md, "Vectorized tuple delivery").
 	TupleBatch
+	// Abort tells a node process to stop immediately: the query cannot
+	// complete (a site died, the deadline passed, or a node panicked) and
+	// every process should drain and exit instead of waiting for messages
+	// that will never arrive. Reason carries the cause; Note optional
+	// detail (e.g. a panic stack trace). Abort is outside the §3.2 message
+	// vocabulary and is never counted by End/ReqEnd watermark accounting —
+	// see doc/PROTOCOL.md, "Failure model".
+	Abort
+	// Hello is a transport-level frame sent once when a site dials a peer;
+	// From holds the dialing *site* id (not a node id). It lets the accept
+	// side attribute the connection — and later failures — to a site.
+	// Hello never reaches a node mailbox.
+	Hello
+	// Heartbeat is a transport-level liveness frame exchanged periodically
+	// on each site-pair connection; From holds the sending site id. It
+	// never reaches a node mailbox and carries no protocol meaning.
+	Heartbeat
 )
+
+// Abort reason codes, carried in Message.Reason.
+const (
+	// AbortNone means no abort (the zero value).
+	AbortNone uint8 = iota
+	// AbortSiteDown: a peer site was declared unreachable.
+	AbortSiteDown
+	// AbortDeadline: the query's wall-clock deadline passed.
+	AbortDeadline
+	// AbortPanic: a node process panicked; Note holds the stack trace.
+	AbortPanic
+	// AbortCancelled: the caller cancelled the evaluation.
+	AbortCancelled
+)
+
+// ReasonString names an abort reason code.
+func ReasonString(r uint8) string {
+	switch r {
+	case AbortSiteDown:
+		return "site down"
+	case AbortDeadline:
+		return "deadline exceeded"
+	case AbortPanic:
+		return "node panic"
+	case AbortCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
 
 var kindNames = [...]string{
 	"relreq", "tupreq", "tuple", "end", "reqend",
 	"endreq", "endneg", "endconf", "nudge", "shutdown", "tuplebatch",
+	"abort", "hello", "heartbeat",
 }
 
 func (k Kind) String() string {
@@ -97,6 +144,12 @@ type Message struct {
 	All bool
 	// Round numbers termination-protocol rounds within one leader's run.
 	Round int
+	// Reason carries the abort cause (Abort messages only); see the
+	// AbortSiteDown... constants.
+	Reason uint8
+	// Note carries human-readable abort detail, e.g. a panic stack trace
+	// or the name of the failed site (Abort messages only).
+	Note string
 }
 
 // String renders the message for traces and test failures.
@@ -110,6 +163,8 @@ func (m Message) String() string {
 		return fmt.Sprintf("end %d→%d n=%d all=%v", m.From, m.To, m.N, m.All)
 	case EndReq, EndNeg, EndConf:
 		return fmt.Sprintf("%s %d→%d round=%d", m.Kind, m.From, m.To, m.Round)
+	case Abort:
+		return fmt.Sprintf("abort %d→%d reason=%s", m.From, m.To, ReasonString(m.Reason))
 	default:
 		return fmt.Sprintf("%s %d→%d", m.Kind, m.From, m.To)
 	}

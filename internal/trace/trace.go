@@ -29,6 +29,15 @@ type Stats struct {
 	joins      atomic.Int64 // join probe candidates examined
 	edbScans   atomic.Int64 // EDB selections performed
 	edbTuples  atomic.Int64 // tuples read from the EDB
+
+	// Failure-handling counters (transport + abort path).
+	heartbeats   atomic.Int64 // heartbeat frames sent over TCP
+	reconnects   atomic.Int64 // successful re-dials after a connection loss
+	peerDowns    atomic.Int64 // peer sites declared unreachable
+	aborts       atomic.Int64 // query aborts initiated (one per site at most)
+	droppedSends atomic.Int64 // sends dropped at the transport (failed peer / closed net)
+	droppedPuts  atomic.Int64 // Puts dropped by closed mailboxes
+	faultDrops   atomic.Int64 // messages dropped by injected faults (FaultNet)
 }
 
 // Counter increment hooks, one per event the engine reports.
@@ -51,8 +60,15 @@ func (s *Stats) Derived()        { s.derived.Add(1) }
 func (s *Stats) Stored()         { s.stored.Add(1) }
 func (s *Stats) Dup()            { s.dups.Add(1) }
 func (s *Stats) Joins(n int)     { s.joins.Add(int64(n)) }
-func (s *Stats) EDBScan()        { s.edbScans.Add(1) }
-func (s *Stats) EDBTuples(n int) { s.edbTuples.Add(int64(n)) }
+func (s *Stats) EDBScan()           { s.edbScans.Add(1) }
+func (s *Stats) EDBTuples(n int)    { s.edbTuples.Add(int64(n)) }
+func (s *Stats) Heartbeat()         { s.heartbeats.Add(1) }
+func (s *Stats) Reconnect()         { s.reconnects.Add(1) }
+func (s *Stats) PeerDown()          { s.peerDowns.Add(1) }
+func (s *Stats) Abort()             { s.aborts.Add(1) }
+func (s *Stats) DroppedSend()       { s.droppedSends.Add(1) }
+func (s *Stats) DroppedPuts(n int64) { s.droppedPuts.Add(n) }
+func (s *Stats) FaultDrop()         { s.faultDrops.Add(1) }
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
@@ -65,6 +81,12 @@ type Snapshot struct {
 	Protocol, Rounds                    int64
 	Derived, Stored, Dups               int64
 	Joins, EDBScans, EDBTuples          int64
+	// Failure-handling counters: transport liveness traffic, recoveries,
+	// declared peer failures, query aborts, and silently dropped messages
+	// (previously invisible; see ISSUE 2's silent-loss footgun).
+	Heartbeats, Reconnects, PeerDowns     int64
+	Aborts, DroppedSends, DroppedPuts     int64
+	FaultDrops                            int64
 }
 
 // Snapshot reads every counter.
@@ -86,6 +108,13 @@ func (s *Stats) Snapshot() Snapshot {
 		Joins:        s.joins.Load(),
 		EDBScans:     s.edbScans.Load(),
 		EDBTuples:    s.edbTuples.Load(),
+		Heartbeats:   s.heartbeats.Load(),
+		Reconnects:   s.reconnects.Load(),
+		PeerDowns:    s.peerDowns.Load(),
+		Aborts:       s.aborts.Load(),
+		DroppedSends: s.droppedSends.Load(),
+		DroppedPuts:  s.droppedPuts.Load(),
+		FaultDrops:   s.faultDrops.Load(),
 	}
 }
 
@@ -103,5 +132,9 @@ func (sn Snapshot) String() string {
 	fmt.Fprintf(&b, " protocol=%d rounds=%d", sn.Protocol, sn.Rounds)
 	fmt.Fprintf(&b, " derived=%d stored=%d dups=%d joins=%d edbscans=%d edbtuples=%d",
 		sn.Derived, sn.Stored, sn.Dups, sn.Joins, sn.EDBScans, sn.EDBTuples)
+	if sn.Heartbeats+sn.Reconnects+sn.PeerDowns+sn.Aborts+sn.DroppedSends+sn.DroppedPuts+sn.FaultDrops > 0 {
+		fmt.Fprintf(&b, " heartbeats=%d reconnects=%d peerdowns=%d aborts=%d dropped=%d/%dputs faultdrops=%d",
+			sn.Heartbeats, sn.Reconnects, sn.PeerDowns, sn.Aborts, sn.DroppedSends, sn.DroppedPuts, sn.FaultDrops)
+	}
 	return b.String()
 }

@@ -14,6 +14,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/msg"
 )
@@ -21,11 +22,12 @@ import (
 // Mailbox is an unbounded FIFO queue of messages. Any number of goroutines
 // may Put; one owner goroutine is expected to Get.
 type Mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []msg.Message
-	head   int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []msg.Message
+	head    int
+	closed  bool
+	dropped atomic.Int64 // Puts after Close (late messages during shutdown)
 }
 
 // NewMailbox returns an empty open mailbox.
@@ -36,11 +38,13 @@ func NewMailbox() *Mailbox {
 }
 
 // Put enqueues a message. Put on a closed mailbox is a no-op (late
-// messages during shutdown are dropped deliberately).
+// messages during shutdown are dropped deliberately); the drop is counted
+// so it can be surfaced in trace.Stats rather than lost silently.
 func (m *Mailbox) Put(x msg.Message) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		m.dropped.Add(1)
 		return
 	}
 	m.queue = append(m.queue, x)
@@ -88,6 +92,9 @@ func (m *Mailbox) Len() int {
 	return len(m.queue) - m.head
 }
 
+// Dropped reports how many Puts arrived after Close and were discarded.
+func (m *Mailbox) Dropped() int64 { return m.dropped.Load() }
+
 // Close wakes any blocked Get and makes further Puts no-ops.
 func (m *Mailbox) Close() {
 	m.mu.Lock()
@@ -127,4 +134,13 @@ func (l *Local) Close() {
 	for _, b := range l.Boxes {
 		b.Close()
 	}
+}
+
+// Dropped sums the post-Close Put drops across all mailboxes.
+func (l *Local) Dropped() int64 {
+	var n int64
+	for _, b := range l.Boxes {
+		n += b.Dropped()
+	}
+	return n
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -22,16 +23,35 @@ import (
 // component, so partitions must co-locate each nontrivial strong component
 // on one site (engine.Partition enforces this; a fully general distribution
 // would extend the protocol with per-channel message counts).
+//
+// Failure handling (see doc/PROTOCOL.md, "Failure model"): each dialed
+// connection starts with a Hello frame identifying the dialing site, then
+// carries periodic heartbeats in both directions (the dialer pings, the
+// acceptor echoes). A connection that errors or stays silent past
+// Config.HeartbeatTimeout is torn down and re-dialed with exponential
+// backoff + jitter; once the total re-dial window (Config.DialTimeout)
+// expires the peer is declared down — subsequent sends drop fast (counted,
+// logged once per peer at Close) and a PeerDown event is emitted on Down().
 type TCP struct {
 	site  int
 	hosts []int // node id → site id
 	local *Local
 	ln    net.Listener
+	cfg   Config
 
-	mu       sync.Mutex
-	conns    map[int]*siteConn
-	failed   map[int]bool // peers whose dial window expired; sends drop fast
-	accepted map[net.Conn]bool
+	mu        sync.Mutex
+	conns     map[int]*siteConn     // established dialed connections, by peer site
+	dialing   map[int]*dialAttempt  // in-flight dial attempts, by peer site
+	failed    map[int]error         // peers declared down: sends drop fast
+	everConn  map[int]bool          // peers successfully dialed at least once
+	downSent  map[int]bool          // PeerDown already emitted for this peer
+	dropCount map[int]int64         // sends dropped, by destination site
+	accepted  map[net.Conn]int      // accepted connections → peer site (-1 unknown)
+
+	down chan PeerDown
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	wg       sync.WaitGroup
 	addrs    []string
@@ -39,30 +59,67 @@ type TCP struct {
 	closedCh chan struct{}
 }
 
+// siteConn is one established outbound connection. The mutex serializes
+// writes (the gob encoder is stateful); done is closed exactly once when
+// the connection is torn down.
 type siteConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	mu        sync.Mutex
+	c         net.Conn
+	enc       *gob.Encoder
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// NewTCP starts a site: it listens on addrs[site] and will dial peers on
-// demand. hosts maps every node id (including the driver id) to its site.
-// local receives messages for locally hosted nodes.
+func (sc *siteConn) close() {
+	sc.closeOnce.Do(func() {
+		close(sc.done)
+		sc.c.Close()
+	})
+}
+
+// dialAttempt deduplicates concurrent dials to one peer: every interested
+// sender waits on done and shares the outcome.
+type dialAttempt struct {
+	done chan struct{}
+	sc   *siteConn
+	err  error
+}
+
+// NewTCP starts a site with the default Config: it listens on addrs[site]
+// and will dial peers on demand. hosts maps every node id (including the
+// driver id) to its site. local receives messages for locally hosted nodes.
 func NewTCP(site int, addrs []string, hosts []int, local *Local) (*TCP, error) {
+	return NewTCPConfig(site, addrs, hosts, local, Config{})
+}
+
+// NewTCPConfig is NewTCP with explicit failure-handling parameters.
+func NewTCPConfig(site int, addrs []string, hosts []int, local *Local, cfg Config) (*TCP, error) {
 	ln, err := net.Listen("tcp", addrs[site])
 	if err != nil {
 		return nil, fmt.Errorf("transport: site %d listen: %w", site, err)
 	}
+	cfg = cfg.withDefaults()
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
 	t := &TCP{
-		site:     site,
-		hosts:    hosts,
-		local:    local,
-		ln:       ln,
-		conns:    make(map[int]*siteConn),
-		failed:   make(map[int]bool),
-		accepted: make(map[net.Conn]bool),
-		addrs:    addrs,
-		closedCh: make(chan struct{}),
+		site:      site,
+		hosts:     hosts,
+		local:     local,
+		ln:        ln,
+		cfg:       cfg,
+		conns:     make(map[int]*siteConn),
+		dialing:   make(map[int]*dialAttempt),
+		failed:    make(map[int]error),
+		everConn:  make(map[int]bool),
+		downSent:  make(map[int]bool),
+		dropCount: make(map[int]int64),
+		accepted:  make(map[net.Conn]int),
+		down:      make(chan PeerDown, len(addrs)+1),
+		rng:       rand.New(rand.NewSource(seed)),
+		addrs:     addrs,
+		closedCh:  make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -72,6 +129,27 @@ func NewTCP(site int, addrs []string, hosts []int, local *Local) (*TCP, error) {
 // Addr returns the address the site actually listens on (useful when the
 // configured address used port 0).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Down delivers at most one PeerDown event per peer site declared
+// unreachable. The channel is buffered for every possible peer, so the
+// transport never blocks on it; the engine's watchdog (Options.PeerDown)
+// aborts the query on the first event.
+func (t *TCP) Down() <-chan PeerDown { return t.down }
+
+func (t *TCP) isClosed() bool {
+	select {
+	case <-t.closedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -86,113 +164,359 @@ func (t *TCP) acceptLoop() {
 			c.Close()
 			return
 		}
-		t.accepted[c] = true
+		t.accepted[c] = -1
 		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(c)
 	}
 }
 
+// readLoop serves one accepted connection: it decodes frames, swallows the
+// transport-level Hello/Heartbeat traffic, and delivers everything else to
+// the local mailboxes. With heartbeats enabled, each read carries a
+// deadline — a connection silent past HeartbeatTimeout is treated as dead —
+// and an echo goroutine heartbeats back to the dialer so the dialer's own
+// read deadline stays satisfied.
 func (t *TCP) readLoop(c net.Conn) {
 	defer t.wg.Done()
+	peer := -1
+	var echoStop chan struct{}
 	defer func() {
 		c.Close()
+		if echoStop != nil {
+			close(echoStop)
+		}
 		t.mu.Lock()
 		delete(t.accepted, c)
 		t.mu.Unlock()
+		// A lost inbound connection from a known peer is a failure signal
+		// even for a site that never sends to that peer: probe it in the
+		// background so a crash is detected (and the query aborted) instead
+		// of this site waiting forever for tuples that cannot arrive.
+		if peer >= 0 && t.cfg.heartbeatsOn() && !t.isClosed() {
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.peer(peer) // outcome recorded in conns/failed; errors emit PeerDown
+			}()
+		}
 	}()
 	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
 	for {
+		if t.cfg.heartbeatsOn() {
+			c.SetReadDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
+		}
 		var m msg.Message
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		t.local.Send(m)
+		switch m.Kind {
+		case msg.Hello:
+			peer = m.From
+			t.mu.Lock()
+			t.accepted[c] = peer
+			t.mu.Unlock()
+			if t.cfg.heartbeatsOn() && echoStop == nil {
+				echoStop = make(chan struct{})
+				t.wg.Add(1)
+				go t.echoHeartbeats(c, enc, echoStop)
+			}
+		case msg.Heartbeat:
+			// Liveness only: the successful read already reset the deadline.
+		default:
+			t.local.Send(m)
+		}
 	}
 }
 
+// echoHeartbeats writes periodic heartbeats back to the dialing site on the
+// accepted connection, so the dialer can detect this site's death through
+// its read deadline. Exits when the connection dies or the transport
+// closes.
+func (t *TCP) echoHeartbeats(c net.Conn, enc *gob.Encoder, stop chan struct{}) {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.closedCh:
+			return
+		case <-tick.C:
+			c.SetWriteDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
+			if err := enc.Encode(msg.Message{Kind: msg.Heartbeat, From: t.site}); err != nil {
+				return // readLoop will see the dead conn and clean up
+			}
+			t.cfg.Stats.Heartbeat()
+		}
+	}
+}
+
+// jitter draws a deterministic random duration in [0, max).
+func (t *TCP) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return time.Duration(t.rng.Int63n(int64(max)))
+}
+
 // Send routes the message to the mailbox of a locally hosted node or over
-// the connection to the hosting site. Sends after Close, and sends whose
-// remote peer has vanished, are dropped — the same semantics as a closed
-// mailbox.
+// the connection to the hosting site. A failed write tears the connection
+// down and retries once through a fresh dial (masking transient connection
+// loss); if the peer stays unreachable the message is dropped and counted —
+// never silently lost without a trace (see trace.Stats.DroppedSends).
 func (t *TCP) Send(m msg.Message) {
 	dest := t.hosts[m.To]
 	if dest == t.site {
 		t.local.Send(m)
 		return
 	}
-	sc, err := t.peer(dest)
-	if err != nil {
-		return
-	}
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	if err := sc.enc.Encode(m); err != nil {
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := t.peer(dest)
+		if err != nil {
+			break
+		}
+		if t.encode(sc, m) == nil {
+			return
+		}
 		t.dropPeer(dest, sc)
 	}
+	t.noteDrop(dest)
 }
 
-// peer returns (dialing if necessary) the connection to the given site.
-// Dialing retries briefly so sites may start in any order.
+// encode serializes one frame onto the connection under the write lock,
+// with a write deadline when heartbeats are on (a peer that stops reading
+// must not wedge the sender forever).
+func (t *TCP) encode(sc *siteConn, m msg.Message) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if t.cfg.heartbeatsOn() {
+		sc.c.SetWriteDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
+	}
+	return sc.enc.Encode(m)
+}
+
+func (t *TCP) noteDrop(site int) {
+	t.cfg.Stats.DroppedSend()
+	t.mu.Lock()
+	t.dropCount[site]++
+	t.mu.Unlock()
+}
+
+// peer returns the connection to the given site, joining an in-flight dial
+// attempt or starting one (with backoff, within the DialTimeout window) if
+// none exists.
 func (t *TCP) peer(site int) (*siteConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: closed")
 	}
-	if t.failed[site] {
+	if err := t.failed[site]; err != nil {
 		t.mu.Unlock()
-		return nil, fmt.Errorf("transport: site %d unreachable", site)
+		return nil, fmt.Errorf("transport: site %d unreachable: %w", site, err)
 	}
 	if sc, ok := t.conns[site]; ok {
 		t.mu.Unlock()
 		return sc, nil
 	}
+	da, inflight := t.dialing[site]
+	if !inflight {
+		da = &dialAttempt{done: make(chan struct{})}
+		t.dialing[site] = da
+		t.wg.Add(1)
+		go t.dial(site, da)
+	}
 	t.mu.Unlock()
 
+	select {
+	case <-da.done:
+		return da.sc, da.err
+	case <-t.closedCh:
+		return nil, fmt.Errorf("transport: closed while dialing site %d", site)
+	}
+}
+
+// dial attempts to connect to the peer with exponential backoff + jitter
+// until success or the DialTimeout window closes; a window expiry declares
+// the peer down.
+func (t *TCP) dial(site int, da *dialAttempt) {
+	defer t.wg.Done()
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	backoff := t.cfg.BaseBackoff
 	var c net.Conn
 	var err error
-	deadline := time.Now().Add(10 * time.Second)
 	for {
-		c, err = net.Dial("tcp", t.addrs[site])
-		if err == nil || time.Now().After(deadline) {
+		attempt := t.cfg.MaxBackoff
+		if rem := time.Until(deadline); rem < attempt {
+			attempt = rem
+		}
+		if attempt <= 0 {
+			break
+		}
+		c, err = net.DialTimeout("tcp", t.addrs[site], attempt)
+		if err == nil {
+			break
+		}
+		wait := backoff + t.jitter(backoff/2)
+		if backoff < t.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > t.cfg.MaxBackoff {
+				backoff = t.cfg.MaxBackoff
+			}
+		}
+		if time.Now().Add(wait).After(deadline) {
 			break
 		}
 		select {
 		case <-t.closedCh:
-			return nil, fmt.Errorf("transport: closed while dialing site %d", site)
-		case <-time.After(20 * time.Millisecond):
+			t.finishDial(site, da, nil, fmt.Errorf("transport: closed while dialing site %d", site), false)
+			return
+		case <-time.After(wait):
 		}
 	}
-	if err != nil {
-		t.mu.Lock()
-		t.failed[site] = true
-		t.mu.Unlock()
-		return nil, fmt.Errorf("transport: dial site %d: %w", site, err)
+	if err != nil || c == nil {
+		if err == nil {
+			err = fmt.Errorf("dial window expired")
+		}
+		t.finishDial(site, da, nil, fmt.Errorf("transport: dial site %d: %w", site, err), true)
+		return
 	}
+	sc := &siteConn{c: c, enc: gob.NewEncoder(c), done: make(chan struct{})}
+	t.finishDial(site, da, sc, nil, false)
+}
 
+// finishDial publishes a dial outcome: registers the connection (starting
+// its hello/heartbeat machinery) or records the failure (declaring the peer
+// down when the window expired).
+func (t *TCP) finishDial(site int, da *dialAttempt, sc *siteConn, err error, declareDown bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if sc, ok := t.conns[site]; ok { // lost a dial race; keep the winner
-		c.Close()
-		return sc, nil
+	delete(t.dialing, site)
+	if t.closed && sc != nil {
+		t.mu.Unlock()
+		sc.close()
+		da.err = fmt.Errorf("transport: closed")
+		close(da.done)
+		return
 	}
-	sc := &siteConn{c: c, enc: gob.NewEncoder(c)}
+	if err != nil {
+		if declareDown {
+			t.failed[site] = err
+			t.markDownLocked(site, err)
+		}
+		t.mu.Unlock()
+		da.err = err
+		close(da.done)
+		return
+	}
+	reconnect := t.everConn[site]
+	t.everConn[site] = true
 	t.conns[site] = sc
-	return sc, nil
+	t.mu.Unlock()
+
+	if reconnect {
+		t.cfg.Stats.Reconnect()
+		t.logf("transport: site %d: reconnected to site %d", t.site, site)
+	}
+	// Identify ourselves so the accept side can attribute this connection
+	// (and any later loss of it) to this site.
+	if t.encode(sc, msg.Message{Kind: msg.Hello, From: t.site}) != nil {
+		t.dropPeer(site, sc)
+	} else if t.cfg.heartbeatsOn() {
+		t.wg.Add(2)
+		go t.heartbeatLoop(site, sc)
+		go t.connReadLoop(site, sc)
+	}
+	da.sc = sc
+	close(da.done)
+}
+
+// markDownLocked emits the one-shot PeerDown event for a peer; t.mu held.
+func (t *TCP) markDownLocked(site int, err error) {
+	if t.downSent[site] {
+		return
+	}
+	t.downSent[site] = true
+	t.cfg.Stats.PeerDown()
+	t.logf("transport: site %d: peer site %d declared down: %v", t.site, site, err)
+	select {
+	case t.down <- PeerDown{Site: site, Err: err}:
+	default:
+	}
+}
+
+// heartbeatLoop pings the peer over an established outbound connection so
+// the accept side's read deadline stays satisfied and write failures
+// surface within one interval of a crash.
+func (t *TCP) heartbeatLoop(site int, sc *siteConn) {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-t.closedCh:
+			return
+		case <-tick.C:
+			if err := t.encode(sc, msg.Message{Kind: msg.Heartbeat, From: t.site}); err != nil {
+				t.connLost(site, sc)
+				return
+			}
+			t.cfg.Stats.Heartbeat()
+		}
+	}
+}
+
+// connReadLoop watches an established outbound connection for the peer's
+// heartbeat echoes; silence past HeartbeatTimeout (or any read error) means
+// the connection is dead.
+func (t *TCP) connReadLoop(site int, sc *siteConn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(sc.c)
+	for {
+		sc.c.SetReadDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
+		var m msg.Message
+		if err := dec.Decode(&m); err != nil {
+			t.connLost(site, sc)
+			return
+		}
+		// Only heartbeat echoes travel this direction; ignore content.
+	}
+}
+
+// connLost tears down a dead connection and, unless the transport is
+// closing, re-dials in the background so failures are detected and masked
+// (or declared) even when no Send is pending.
+func (t *TCP) connLost(site int, sc *siteConn) {
+	t.dropPeer(site, sc)
+	if t.isClosed() {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.peer(site) // success re-registers the conn; failure declares the peer down
+	}()
 }
 
 func (t *TCP) dropPeer(site int, sc *siteConn) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if cur, ok := t.conns[site]; ok && cur == sc {
 		delete(t.conns, site)
 	}
-	sc.c.Close()
+	t.mu.Unlock()
+	sc.close()
 }
 
 // Close stops the listener and tears down peer connections. In-flight
-// reads finish; subsequent sends are dropped.
+// reads finish; subsequent sends are dropped. Per-peer drop totals are
+// logged once here — the shutdown-time visibility for messages that were
+// discarded because a peer was unreachable.
 func (t *TCP) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -207,11 +531,22 @@ func (t *TCP) Close() {
 	for c := range t.accepted {
 		accepted = append(accepted, c)
 	}
+	drops := make(map[int]int64, len(t.dropCount))
+	for site, n := range t.dropCount {
+		drops[site] = n
+	}
+	failed := make(map[int]error, len(t.failed))
+	for site, err := range t.failed {
+		failed[site] = err
+	}
 	t.mu.Unlock()
 
+	for site, n := range drops {
+		t.logf("transport: site %d: dropped %d message(s) to site %d (%v)", t.site, n, site, failed[site])
+	}
 	t.ln.Close()
 	for _, sc := range conns {
-		sc.c.Close()
+		sc.close()
 	}
 	for _, c := range accepted {
 		c.Close()

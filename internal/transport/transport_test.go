@@ -244,17 +244,18 @@ func TestTCPDialFailure(t *testing.T) {
 }
 
 func TestTCPPeerConnectionLoss(t *testing.T) {
-	if testing.Short() {
-		t.Skip("waits out a real re-dial timeout (~10s)")
-	}
+	// Short dial window (Config) so the failure path runs in milliseconds
+	// rather than the production 10s default.
+	cfg := Config{DialTimeout: 300 * time.Millisecond, HeartbeatInterval: NoHeartbeat,
+		BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
 	hosts := []int{0, 1}
 	localB := NewLocal(2)
-	siteB, err := NewTCP(1, []string{"", "127.0.0.1:0"}, hosts, localB)
+	siteB, err := NewTCPConfig(1, []string{"", "127.0.0.1:0"}, hosts, localB, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	localA := NewLocal(2)
-	siteA, err := NewTCP(0, []string{"127.0.0.1:0", siteB.Addr()}, hosts, localA)
+	siteA, err := NewTCPConfig(0, []string{"127.0.0.1:0", siteB.Addr()}, hosts, localA, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

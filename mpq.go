@@ -36,6 +36,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/bottomup"
@@ -178,6 +179,8 @@ type config struct {
 	stats        *trace.Stats
 	batch        bool
 	trace        io.Writer
+	deadline     time.Duration
+	cancel       <-chan struct{}
 }
 
 // Option adjusts one evaluation.
@@ -225,6 +228,17 @@ func WithBatching() Option { return func(c *config) { c.batch = true } }
 // a debugging and teaching aid. MessagePassing engine only.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
 
+// WithDeadline bounds a MessagePassing evaluation in wall-clock time: when
+// d elapses the engine aborts every node process and Eval returns
+// engine.ErrDeadline instead of running (or hanging) forever.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithCancel aborts a MessagePassing evaluation when ch is closed; Eval
+// returns engine.ErrCancelled. Unlike EvalStream's yield-false (which
+// stops cleanly with partial answers), this is the emergency stop usable
+// from any goroutine.
+func WithCancel(ch <-chan struct{}) Option { return func(c *config) { c.cancel = ch } }
+
 // Answer is a completed evaluation.
 type Answer struct {
 	// Engine records which method produced the answer.
@@ -250,7 +264,8 @@ func (s *System) Eval(opts ...Option) (*Answer, error) {
 			return nil, err
 		}
 		s.ensureWarm()
-		res, err := engine.Run(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace})
+		res, err := engine.Run(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
+			Deadline: cfg.deadline, Cancel: cfg.cancel})
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +321,8 @@ func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (tr
 		return trace.Snapshot{}, err
 	}
 	s.ensureWarm()
-	res, err := engine.RunStream(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace},
+	res, err := engine.RunStream(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
+		Deadline: cfg.deadline, Cancel: cfg.cancel},
 		func(t relation.Tuple) bool {
 			row := make([]string, len(t))
 			for i, sym := range t {

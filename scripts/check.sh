@@ -2,8 +2,19 @@
 # Tier-1 check: build, vet, and the full test suite under the race
 # detector. `make check` runs this. Pass -short through for a quick pass:
 #   ./scripts/check.sh -short
+# `./scripts/check.sh chaos` (or `make chaos`) runs the failure-handling
+# suite — fault injection, heartbeats, kills, deadlines, the chaos soak —
+# twice under the race detector, to shake out schedules that only hang or
+# race on the second run.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+if [ "${1:-}" = "chaos" ]; then
+	shift
+	go test -race -count=2 \
+		-run 'Chaos|FaultNet|ParseChaos|Deadline|Cancel|Panic|Heartbeat|PeerDown|KilledPeer|Reconnect|SiteKill|ConnectionLoss' \
+		"$@" ./internal/engine/ ./internal/transport/
+	exit 0
+fi
 go test -race "$@" ./...
