@@ -132,16 +132,25 @@ func (rt *runner) startWatch(opts Options) (stop func()) {
 	if opts.Cancel != nil || opts.PeerDown != nil {
 		stopCh = make(chan struct{})
 		go func() {
-			select {
-			case <-stopCh:
-			case <-opts.Cancel:
-				rt.abort(msg.AbortCancelled, "cancelled by caller")
-			case pd, ok := <-opts.PeerDown:
-				if !ok {
-					<-stopCh // channel closed without an event; keep waiting
+			peerDown := opts.PeerDown
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-opts.Cancel:
+					rt.abort(msg.AbortCancelled, "cancelled by caller")
+					return
+				case pd, ok := <-peerDown:
+					if !ok {
+						// Channel closed without an event: stop watching it
+						// (a nil channel blocks forever) but keep honoring
+						// Cancel and stop.
+						peerDown = nil
+						continue
+					}
+					rt.abort(msg.AbortSiteDown, fmt.Sprintf("site %d: %v", pd.Site, pd.Err))
 					return
 				}
-				rt.abort(msg.AbortSiteDown, fmt.Sprintf("site %d: %v", pd.Site, pd.Err))
 			}
 		}()
 	}

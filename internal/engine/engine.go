@@ -300,6 +300,14 @@ func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple)
 	for {
 		m, ok := box.Get()
 		if !ok {
+			// A closed driver mailbox is never normal completion (RunStream
+			// closes the Local only after this function returns): the site
+			// is being torn down under us — e.g. an injected crash of the
+			// driver's own site racing the watchdog's PeerDown event.
+			// Record a typed abort so the caller gets an error instead of
+			// the partial answer set as success; abort is a no-op if the
+			// watchdog already recorded the real reason.
+			rt.abort(msg.AbortSiteDown, "driver mailbox closed mid-query")
 			break
 		}
 		switch m.Kind {

@@ -297,3 +297,61 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 }
+
+// TestDriverMailboxCloseAborts pins the driveStream fix: a driver mailbox
+// that closes mid-query (the site torn down under the driver, e.g. an
+// injected crash racing the watchdog) must surface as a typed error, never
+// as a silently partial answer set returned with a nil error.
+func TestDriverMailboxCloseAborts(t *testing.T) {
+	g, db := slowWorkload(t)
+	guard(t, 30*time.Second, "driver mailbox close", func() {
+		n := len(g.Nodes)
+		local := transport.NewLocal(n + 1)
+		rt, err := newRunner(g, db, local, Options{EDBDelay: 2 * time.Millisecond}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range g.Nodes {
+			rt.startProc(id, local.Boxes[id])
+		}
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			local.Close()
+		}()
+		res, err := rt.driveStream(local.Boxes[n], nil)
+		if !errors.Is(err, ErrSiteDown) {
+			t.Errorf("err = %v, want ErrSiteDown", err)
+		}
+		if res != nil {
+			t.Error("partial answers returned as success after the mailbox closed")
+		}
+		rt.wg.Wait()
+	})
+}
+
+// TestWatchdogSurvivesClosedPeerDownChannel pins the startWatch fix: a
+// PeerDown channel that is closed without ever delivering an event must not
+// park the watchdog — a later Cancel still has to abort the evaluation.
+func TestWatchdogSurvivesClosedPeerDownChannel(t *testing.T) {
+	g, db := slowWorkload(t)
+	local := transport.NewLocal(len(g.Nodes) + 1)
+	rt, err := newRunner(g, db, local, Options{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := make(chan transport.PeerDown)
+	close(pd) // closed immediately, no event ever sent
+	cancel := make(chan struct{})
+	stop := rt.startWatch(Options{PeerDown: pd, Cancel: cancel})
+	defer stop()
+
+	time.Sleep(10 * time.Millisecond) // let the watchdog observe the close
+	close(cancel)
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.abortError() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := rt.abortError(); !errors.Is(err, ErrCancelled) {
+		t.Errorf("abort error = %v, want ErrCancelled (watchdog parked by the closed PeerDown channel?)", err)
+	}
+}

@@ -150,6 +150,13 @@ type Message struct {
 	// Note carries human-readable abort detail, e.g. a panic stack trace
 	// or the name of the failed site (Abort messages only).
 	Note string
+	// Seq is transport-level per-link sequencing, assigned by the TCP
+	// transport and never set by the engine. On payload frames it numbers
+	// the site-to-site stream (1, 2, ...) so a reconnect can replay the
+	// unacknowledged suffix and the receiver can drop replay duplicates;
+	// on Hello and Heartbeat frames it carries the cumulative
+	// acknowledgement (highest sequence delivered so far).
+	Seq uint64
 }
 
 // String renders the message for traces and test failures.

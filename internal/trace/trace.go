@@ -33,6 +33,7 @@ type Stats struct {
 	// Failure-handling counters (transport + abort path).
 	heartbeats   atomic.Int64 // heartbeat frames sent over TCP
 	reconnects   atomic.Int64 // successful re-dials after a connection loss
+	replays      atomic.Int64 // frames re-sent by a reconnect's unacked-suffix replay
 	peerDowns    atomic.Int64 // peer sites declared unreachable
 	aborts       atomic.Int64 // query aborts initiated (one per site at most)
 	droppedSends atomic.Int64 // sends dropped at the transport (failed peer / closed net)
@@ -52,23 +53,24 @@ func (s *Stats) TupleBatchMsg(rows int) {
 	s.batches.Add(1)
 	s.tupleRows.Add(int64(rows))
 }
-func (s *Stats) EndMsg()         { s.ends.Add(1) }
-func (s *Stats) ReqEndMsg()      { s.reqEnds.Add(1) }
-func (s *Stats) ProtocolMsg()    { s.protocol.Add(1) }
-func (s *Stats) Round()          { s.rounds.Add(1) }
-func (s *Stats) Derived()        { s.derived.Add(1) }
-func (s *Stats) Stored()         { s.stored.Add(1) }
-func (s *Stats) Dup()            { s.dups.Add(1) }
-func (s *Stats) Joins(n int)     { s.joins.Add(int64(n)) }
-func (s *Stats) EDBScan()           { s.edbScans.Add(1) }
-func (s *Stats) EDBTuples(n int)    { s.edbTuples.Add(int64(n)) }
-func (s *Stats) Heartbeat()         { s.heartbeats.Add(1) }
-func (s *Stats) Reconnect()         { s.reconnects.Add(1) }
-func (s *Stats) PeerDown()          { s.peerDowns.Add(1) }
-func (s *Stats) Abort()             { s.aborts.Add(1) }
-func (s *Stats) DroppedSend()       { s.droppedSends.Add(1) }
+func (s *Stats) EndMsg()             { s.ends.Add(1) }
+func (s *Stats) ReqEndMsg()          { s.reqEnds.Add(1) }
+func (s *Stats) ProtocolMsg()        { s.protocol.Add(1) }
+func (s *Stats) Round()              { s.rounds.Add(1) }
+func (s *Stats) Derived()            { s.derived.Add(1) }
+func (s *Stats) Stored()             { s.stored.Add(1) }
+func (s *Stats) Dup()                { s.dups.Add(1) }
+func (s *Stats) Joins(n int)         { s.joins.Add(int64(n)) }
+func (s *Stats) EDBScan()            { s.edbScans.Add(1) }
+func (s *Stats) EDBTuples(n int)     { s.edbTuples.Add(int64(n)) }
+func (s *Stats) Heartbeat()          { s.heartbeats.Add(1) }
+func (s *Stats) Reconnect()          { s.reconnects.Add(1) }
+func (s *Stats) Replays(n int)       { s.replays.Add(int64(n)) }
+func (s *Stats) PeerDown()           { s.peerDowns.Add(1) }
+func (s *Stats) Abort()              { s.aborts.Add(1) }
+func (s *Stats) DroppedSend()        { s.droppedSends.Add(1) }
 func (s *Stats) DroppedPuts(n int64) { s.droppedPuts.Add(n) }
-func (s *Stats) FaultDrop()         { s.faultDrops.Add(1) }
+func (s *Stats) FaultDrop()          { s.faultDrops.Add(1) }
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
@@ -84,9 +86,10 @@ type Snapshot struct {
 	// Failure-handling counters: transport liveness traffic, recoveries,
 	// declared peer failures, query aborts, and silently dropped messages
 	// (previously invisible; see ISSUE 2's silent-loss footgun).
-	Heartbeats, Reconnects, PeerDowns     int64
-	Aborts, DroppedSends, DroppedPuts     int64
-	FaultDrops                            int64
+	Heartbeats, Reconnects, Replays   int64
+	PeerDowns                         int64
+	Aborts, DroppedSends, DroppedPuts int64
+	FaultDrops                        int64
 }
 
 // Snapshot reads every counter.
@@ -110,6 +113,7 @@ func (s *Stats) Snapshot() Snapshot {
 		EDBTuples:    s.edbTuples.Load(),
 		Heartbeats:   s.heartbeats.Load(),
 		Reconnects:   s.reconnects.Load(),
+		Replays:      s.replays.Load(),
 		PeerDowns:    s.peerDowns.Load(),
 		Aborts:       s.aborts.Load(),
 		DroppedSends: s.droppedSends.Load(),
@@ -132,9 +136,9 @@ func (sn Snapshot) String() string {
 	fmt.Fprintf(&b, " protocol=%d rounds=%d", sn.Protocol, sn.Rounds)
 	fmt.Fprintf(&b, " derived=%d stored=%d dups=%d joins=%d edbscans=%d edbtuples=%d",
 		sn.Derived, sn.Stored, sn.Dups, sn.Joins, sn.EDBScans, sn.EDBTuples)
-	if sn.Heartbeats+sn.Reconnects+sn.PeerDowns+sn.Aborts+sn.DroppedSends+sn.DroppedPuts+sn.FaultDrops > 0 {
-		fmt.Fprintf(&b, " heartbeats=%d reconnects=%d peerdowns=%d aborts=%d dropped=%d/%dputs faultdrops=%d",
-			sn.Heartbeats, sn.Reconnects, sn.PeerDowns, sn.Aborts, sn.DroppedSends, sn.DroppedPuts, sn.FaultDrops)
+	if sn.Heartbeats+sn.Reconnects+sn.Replays+sn.PeerDowns+sn.Aborts+sn.DroppedSends+sn.DroppedPuts+sn.FaultDrops > 0 {
+		fmt.Fprintf(&b, " heartbeats=%d reconnects=%d replays=%d peerdowns=%d aborts=%d dropped=%d/%dputs faultdrops=%d",
+			sn.Heartbeats, sn.Reconnects, sn.Replays, sn.PeerDowns, sn.Aborts, sn.DroppedSends, sn.DroppedPuts, sn.FaultDrops)
 	}
 	return b.String()
 }

@@ -19,12 +19,17 @@ type Config struct {
 	// PeerDown event is emitted. Default 10s.
 	DialTimeout time.Duration
 	// HeartbeatInterval is the period of liveness frames on each site-pair
-	// connection (both directions: the dialer pings, the acceptor echoes).
-	// Zero selects the default (500ms); NoHeartbeat disables heartbeats,
-	// read deadlines, and write deadlines.
+	// connection (both directions: the dialer pings, the acceptor echoes,
+	// carrying the cumulative delivery acknowledgement that bounds the
+	// sender's replay buffer). Zero selects the default (500ms);
+	// NoHeartbeat disables heartbeats, read/write deadlines, and the
+	// sequence-and-replay machinery — legacy mode, in which a transient
+	// disconnect may silently lose frames the kernel had buffered.
 	HeartbeatInterval time.Duration
-	// HeartbeatTimeout is how long a connection may stay silent before it
-	// is considered dead and a reconnect is attempted. Default
+	// HeartbeatTimeout is how long a connection may stay *silent* before
+	// it is considered dead and a reconnect is attempted. The deadline
+	// slides forward on every successful read, so a large frame streaming
+	// slowly does not trip it while bytes keep arriving. Default
 	// 4×HeartbeatInterval.
 	HeartbeatTimeout time.Duration
 	// BaseBackoff is the first reconnect delay; each retry doubles it (plus

@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -32,6 +33,16 @@ import (
 // backoff + jitter; once the total re-dial window (Config.DialTimeout)
 // expires the peer is declared down — subsequent sends drop fast (counted,
 // logged once per peer at Close) and a PeerDown event is emitted on Down().
+//
+// Reconnection preserves the FIFO stream exactly. A successful socket
+// write only proves bytes reached the kernel, not the peer, so the
+// transport never trusts writes: with heartbeats enabled every payload
+// frame carries a per-link sequence number, the acceptor acknowledges the
+// highest delivered sequence on its heartbeat echoes, and a reconnecting
+// dialer replays the entire unacknowledged suffix after its Hello. The
+// receiver accepts exactly the next expected sequence and drops everything
+// else as a replay duplicate, so a healed connection delivers the same
+// stream as an unbroken one — no loss, no duplication, no reordering.
 type TCP struct {
 	site  int
 	hosts []int // node id → site id
@@ -40,13 +51,15 @@ type TCP struct {
 	cfg   Config
 
 	mu        sync.Mutex
-	conns     map[int]*siteConn     // established dialed connections, by peer site
-	dialing   map[int]*dialAttempt  // in-flight dial attempts, by peer site
-	failed    map[int]error         // peers declared down: sends drop fast
-	everConn  map[int]bool          // peers successfully dialed at least once
-	downSent  map[int]bool          // PeerDown already emitted for this peer
-	dropCount map[int]int64         // sends dropped, by destination site
-	accepted  map[net.Conn]int      // accepted connections → peer site (-1 unknown)
+	conns     map[int]*siteConn    // established dialed connections, by peer site
+	dialing   map[int]*dialAttempt // in-flight dial attempts, by peer site
+	failed    map[int]error        // peers declared down: sends drop fast
+	everConn  map[int]bool         // peers successfully dialed at least once
+	downSent  map[int]bool         // PeerDown already emitted for this peer
+	dropCount map[int]int64        // sends dropped, by destination site
+	accepted  map[net.Conn]int     // accepted connections → peer site (-1 unknown)
+	links     map[int]*peerLink    // outbound sequencing state, by peer site
+	recv      map[int]*recvLink    // inbound sequencing state, by peer site
 
 	down chan PeerDown
 
@@ -77,12 +90,83 @@ func (sc *siteConn) close() {
 	})
 }
 
+// peerLink is the durable outbound state for one peer site; it outlives
+// individual connections so a reconnect can resume the sequence stream.
+// Lock order: peerLink.mu may be taken before siteConn.mu, never after.
+type peerLink struct {
+	mu      sync.Mutex
+	sc      *siteConn     // current live connection; nil while down/dialing
+	nextSeq uint64        // sequence number for the next payload frame
+	ackSeq  uint64        // highest sequence the peer has acknowledged
+	unacked []msg.Message // frames in (ackSeq, nextSeq), in sequence order
+}
+
+// recvLink is the durable inbound state for one peer site: the highest
+// sequence delivered to local mailboxes, shared by every connection that
+// peer has dialed (a reconnect replays frames the old connection may have
+// delivered already; this is where the duplicates are dropped). The state
+// deliberately outlives connections but not the transport: a peer *site*
+// that restarts is a new evaluation — its stream is not a resumption of
+// the old one, and the engine's failure handling (PeerDown, deadlines)
+// governs that case, not link-level sequencing.
+type recvLink struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
 // dialAttempt deduplicates concurrent dials to one peer: every interested
 // sender waits on done and shares the outcome.
 type dialAttempt struct {
 	done chan struct{}
 	sc   *siteConn
 	err  error
+}
+
+// slidingConn makes deadlines measure *stalls* rather than frame size.
+// Read pushes the read deadline forward on every call, so a large frame
+// (e.g. a TupleBatch over a slow link) that takes longer than
+// HeartbeatTimeout to stream keeps the connection alive as long as bytes
+// are arriving.
+//
+// Writes deliberately do NOT use the heartbeat timeout: a stalled write is
+// not a liveness signal. A healthy peer can accept nothing for tens of
+// milliseconds (a full window with TCP's delayed-ACK timer pending does
+// exactly this), and a dead peer is detected by the read side anyway —
+// heartbeat silence trips the read deadline, the connection is closed, and
+// closing unblocks any writer stuck on it. The write deadline is only a
+// backstop against the pathological peer that keeps heartbeating but never
+// reads, so it uses the much coarser writeTimeout (the DialTimeout scale —
+// how long we are willing to wait before giving up on a peer), renewed
+// whenever a blocked write makes progress.
+type slidingConn struct {
+	net.Conn
+	timeout      time.Duration // read: max silence between successful reads
+	writeTimeout time.Duration // write: backstop for a peer that stops reading
+}
+
+func (c *slidingConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *slidingConn) Write(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return total, err
+		}
+		n, err := c.Conn.Write(p[total:])
+		total += n
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && n > 0 {
+				continue // progress was made; renew the deadline and keep going
+			}
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // NewTCP starts a site with the default Config: it listens on addrs[site]
@@ -116,6 +200,8 @@ func NewTCPConfig(site int, addrs []string, hosts []int, local *Local, cfg Confi
 		downSent:  make(map[int]bool),
 		dropCount: make(map[int]int64),
 		accepted:  make(map[net.Conn]int),
+		links:     make(map[int]*peerLink),
+		recv:      make(map[int]*recvLink),
 		down:      make(chan PeerDown, len(addrs)+1),
 		rng:       rand.New(rand.NewSource(seed)),
 		addrs:     addrs,
@@ -151,6 +237,30 @@ func (t *TCP) logf(format string, args ...any) {
 	}
 }
 
+// link returns the durable outbound sequencing state for a peer site.
+func (t *TCP) link(site int) *peerLink {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lk := t.links[site]
+	if lk == nil {
+		lk = &peerLink{nextSeq: 1}
+		t.links[site] = lk
+	}
+	return lk
+}
+
+// recvLinkFor returns the durable inbound sequencing state for a peer site.
+func (t *TCP) recvLinkFor(site int) *recvLink {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rl := t.recv[site]
+	if rl == nil {
+		rl = &recvLink{}
+		t.recv[site] = rl
+	}
+	return rl
+}
+
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -173,13 +283,15 @@ func (t *TCP) acceptLoop() {
 
 // readLoop serves one accepted connection: it decodes frames, swallows the
 // transport-level Hello/Heartbeat traffic, and delivers everything else to
-// the local mailboxes. With heartbeats enabled, each read carries a
-// deadline — a connection silent past HeartbeatTimeout is treated as dead —
-// and an echo goroutine heartbeats back to the dialer so the dialer's own
-// read deadline stays satisfied.
+// the local mailboxes. With heartbeats enabled, the read deadline slides
+// forward on every successful read — a connection silent past
+// HeartbeatTimeout is treated as dead — and an echo goroutine heartbeats
+// back to the dialer (carrying the cumulative delivery acknowledgement) so
+// the dialer's own read deadline stays satisfied.
 func (t *TCP) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	peer := -1
+	var rl *recvLink
 	var echoStop chan struct{}
 	defer func() {
 		c.Close()
@@ -201,12 +313,15 @@ func (t *TCP) readLoop(c net.Conn) {
 			}()
 		}
 	}()
-	dec := gob.NewDecoder(c)
-	enc := gob.NewEncoder(c)
+	var r io.Reader = c
+	var w io.Writer = c
+	if t.cfg.heartbeatsOn() {
+		sl := &slidingConn{Conn: c, timeout: t.cfg.HeartbeatTimeout, writeTimeout: t.cfg.DialTimeout}
+		r, w = sl, sl
+	}
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(w)
 	for {
-		if t.cfg.heartbeatsOn() {
-			c.SetReadDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
-		}
 		var m msg.Message
 		if err := dec.Decode(&m); err != nil {
 			return
@@ -217,24 +332,50 @@ func (t *TCP) readLoop(c net.Conn) {
 			t.mu.Lock()
 			t.accepted[c] = peer
 			t.mu.Unlock()
+			rl = t.recvLinkFor(peer)
+			// Hello carries the cumulative ack the dialer's replay resumes
+			// from. A receiver that kept its state has lastSeq >= that ack
+			// already (acks only ever report delivered frames) and this is
+			// a no-op; a receiver restarted from scratch fast-forwards so
+			// the replayed suffix lands as the next expected frames.
+			rl.mu.Lock()
+			if m.Seq > rl.lastSeq {
+				rl.lastSeq = m.Seq
+			}
+			rl.mu.Unlock()
 			if t.cfg.heartbeatsOn() && echoStop == nil {
 				echoStop = make(chan struct{})
 				t.wg.Add(1)
-				go t.echoHeartbeats(c, enc, echoStop)
+				go t.echoHeartbeats(c, enc, rl, echoStop)
 			}
 		case msg.Heartbeat:
 			// Liveness only: the successful read already reset the deadline.
 		default:
-			t.local.Send(m)
+			if m.Seq > 0 && rl != nil {
+				// Accept exactly the next expected frame; anything else is
+				// a replay duplicate whose in-order copy arrived on an
+				// earlier connection. Delivery happens under the link lock
+				// so two connections draining concurrently cannot reorder
+				// accepted frames.
+				rl.mu.Lock()
+				if m.Seq == rl.lastSeq+1 {
+					rl.lastSeq = m.Seq
+					t.local.Send(m)
+				}
+				rl.mu.Unlock()
+			} else {
+				t.local.Send(m)
+			}
 		}
 	}
 }
 
 // echoHeartbeats writes periodic heartbeats back to the dialing site on the
 // accepted connection, so the dialer can detect this site's death through
-// its read deadline. Exits when the connection dies or the transport
-// closes.
-func (t *TCP) echoHeartbeats(c net.Conn, enc *gob.Encoder, stop chan struct{}) {
+// its read deadline. Each echo carries the cumulative delivery ack
+// (recvLink.lastSeq) that lets the dialer prune its replay buffer. Exits
+// when the connection dies or the transport closes.
+func (t *TCP) echoHeartbeats(c net.Conn, enc *gob.Encoder, rl *recvLink, stop chan struct{}) {
 	defer t.wg.Done()
 	tick := time.NewTicker(t.cfg.HeartbeatInterval)
 	defer tick.Stop()
@@ -245,8 +386,10 @@ func (t *TCP) echoHeartbeats(c net.Conn, enc *gob.Encoder, stop chan struct{}) {
 		case <-t.closedCh:
 			return
 		case <-tick.C:
-			c.SetWriteDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
-			if err := enc.Encode(msg.Message{Kind: msg.Heartbeat, From: t.site}); err != nil {
+			rl.mu.Lock()
+			ack := rl.lastSeq
+			rl.mu.Unlock()
+			if err := enc.Encode(msg.Message{Kind: msg.Heartbeat, From: t.site, Seq: ack}); err != nil {
 				return // readLoop will see the dead conn and clean up
 			}
 			t.cfg.Stats.Heartbeat()
@@ -265,16 +408,61 @@ func (t *TCP) jitter(max time.Duration) time.Duration {
 }
 
 // Send routes the message to the mailbox of a locally hosted node or over
-// the connection to the hosting site. A failed write tears the connection
-// down and retries once through a fresh dial (masking transient connection
-// loss); if the peer stays unreachable the message is dropped and counted —
-// never silently lost without a trace (see trace.Stats.DroppedSends).
+// the connection to the hosting site. With heartbeats enabled (the
+// default) every remote frame enters the per-link replay buffer before it
+// is written, so a connection lost mid-stream — including frames the
+// kernel accepted but never delivered — is healed by replaying the
+// unacknowledged suffix on reconnect; only a peer declared down loses
+// messages, and those are counted (trace.Stats.DroppedSends) and logged
+// once per peer at Close.
 func (t *TCP) Send(m msg.Message) {
 	dest := t.hosts[m.To]
 	if dest == t.site {
 		t.local.Send(m)
 		return
 	}
+	if !t.cfg.heartbeatsOn() {
+		t.sendDirect(dest, m)
+		return
+	}
+	lk := t.link(dest)
+	lk.mu.Lock()
+	m.Seq = lk.nextSeq
+	lk.nextSeq++
+	lk.unacked = append(lk.unacked, m)
+	sc := lk.sc
+	var encErr error
+	if sc != nil {
+		encErr = t.encode(sc, m)
+	}
+	lk.mu.Unlock()
+	switch {
+	case sc == nil:
+		// No live connection. Join or start the dial; its handshake
+		// replays the unacked suffix — including this frame — in order,
+		// so there is nothing to write here. (The append above and the
+		// handshake's replay both run under lk.mu: whichever runs second
+		// sees the other's effect, so the frame is either replayed or
+		// encoded directly, never skipped.)
+		if _, err := t.peer(dest); err != nil {
+			// Peer declared down (or transport closed): nothing will ever
+			// replay the buffer — flush it into the drop counters.
+			t.flushLink(dest)
+		}
+	case encErr != nil:
+		// The write failed; the frame stays in the replay buffer and the
+		// reconnect triggered here delivers it (or the peer is declared
+		// down and the buffer is flushed as drops).
+		t.connLost(dest, sc)
+	}
+}
+
+// sendDirect is the heartbeats-off send path (legacy semantics): one retry
+// through a fresh dial, no sequence numbers, no replay. Without acks the
+// replay buffer could never be pruned, so this mode accepts that a
+// transient disconnect may lose frames the kernel had buffered; it exists
+// for benchmarking the sequencing overhead, not for fault tolerance.
+func (t *TCP) sendDirect(dest int, m msg.Message) {
 	for attempt := 0; attempt < 2; attempt++ {
 		sc, err := t.peer(dest)
 		if err != nil {
@@ -288,15 +476,14 @@ func (t *TCP) Send(m msg.Message) {
 	t.noteDrop(dest)
 }
 
-// encode serializes one frame onto the connection under the write lock,
-// with a write deadline when heartbeats are on (a peer that stops reading
-// must not wedge the sender forever).
+// encode serializes one frame onto the connection under the write lock.
+// With heartbeats on the encoder writes through a slidingConn; a write
+// blocked on a dead peer is unblocked when the read side's heartbeat
+// deadline closes the connection (see slidingConn for why writes carry
+// only the coarse backstop deadline themselves).
 func (t *TCP) encode(sc *siteConn, m msg.Message) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if t.cfg.heartbeatsOn() {
-		sc.c.SetWriteDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
-	}
 	return sc.enc.Encode(m)
 }
 
@@ -305,6 +492,27 @@ func (t *TCP) noteDrop(site int) {
 	t.mu.Lock()
 	t.dropCount[site]++
 	t.mu.Unlock()
+}
+
+// flushLink empties a peer's replay buffer into the drop counters: called
+// when the peer is declared down (no reconnect will ever replay it) so the
+// buffered frames are surfaced as drops rather than silently retained.
+func (t *TCP) flushLink(site int) {
+	lk := t.link(site)
+	lk.mu.Lock()
+	n := len(lk.unacked)
+	lk.unacked = nil
+	lk.ackSeq = lk.nextSeq - 1
+	lk.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.dropCount[site] += int64(n)
+	t.mu.Unlock()
+	for i := 0; i < n; i++ {
+		t.cfg.Stats.DroppedSend()
+	}
 }
 
 // peer returns the connection to the given site, joining an in-flight dial
@@ -343,13 +551,14 @@ func (t *TCP) peer(site int) (*siteConn, error) {
 
 // dial attempts to connect to the peer with exponential backoff + jitter
 // until success or the DialTimeout window closes; a window expiry declares
-// the peer down.
+// the peer down. A connection that fails its handshake (Hello write or
+// replay of the unacked suffix) counts as a failed attempt and re-enters
+// the backoff loop — it is never published to waiting senders.
 func (t *TCP) dial(site int, da *dialAttempt) {
 	defer t.wg.Done()
 	deadline := time.Now().Add(t.cfg.DialTimeout)
 	backoff := t.cfg.BaseBackoff
-	var c net.Conn
-	var err error
+	var lastErr error
 	for {
 		attempt := t.cfg.MaxBackoff
 		if rem := time.Until(deadline); rem < attempt {
@@ -358,10 +567,20 @@ func (t *TCP) dial(site int, da *dialAttempt) {
 		if attempt <= 0 {
 			break
 		}
-		c, err = net.DialTimeout("tcp", t.addrs[site], attempt)
+		c, err := net.DialTimeout("tcp", t.addrs[site], attempt)
 		if err == nil {
-			break
+			var w io.Writer = c
+			if t.cfg.heartbeatsOn() {
+				w = &slidingConn{Conn: c, timeout: t.cfg.HeartbeatTimeout, writeTimeout: t.cfg.DialTimeout}
+			}
+			sc := &siteConn{c: c, enc: gob.NewEncoder(w), done: make(chan struct{})}
+			if err = t.handshake(site, sc); err == nil {
+				t.finishDial(site, da, sc, nil, false)
+				return
+			}
+			sc.close()
 		}
+		lastErr = err
 		wait := backoff + t.jitter(backoff/2)
 		if backoff < t.cfg.MaxBackoff {
 			backoff *= 2
@@ -379,26 +598,59 @@ func (t *TCP) dial(site int, da *dialAttempt) {
 		case <-time.After(wait):
 		}
 	}
-	if err != nil || c == nil {
-		if err == nil {
-			err = fmt.Errorf("dial window expired")
-		}
-		t.finishDial(site, da, nil, fmt.Errorf("transport: dial site %d: %w", site, err), true)
-		return
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dial window expired")
 	}
-	sc := &siteConn{c: c, enc: gob.NewEncoder(c), done: make(chan struct{})}
-	t.finishDial(site, da, sc, nil, false)
+	t.finishDial(site, da, nil, fmt.Errorf("transport: dial site %d: %w", site, lastErr), true)
 }
 
-// finishDial publishes a dial outcome: registers the connection (starting
-// its hello/heartbeat machinery) or records the failure (declaring the peer
-// down when the window expired).
+// handshake identifies this site to the accept side (Hello) and, with
+// heartbeats on, replays the unacknowledged suffix of the link's stream so
+// a reconnect loses nothing the kernel had buffered on the dead
+// connection. It installs the connection as the link's live conn in the
+// same critical section as the replay: any frame appended to the buffer
+// after this point is encoded directly by its sender, so no frame can
+// fall between replay and first use.
+func (t *TCP) handshake(site int, sc *siteConn) error {
+	if !t.cfg.heartbeatsOn() {
+		return t.encode(sc, msg.Message{Kind: msg.Hello, From: t.site})
+	}
+	t.mu.Lock()
+	reconnect := t.everConn[site]
+	t.mu.Unlock()
+	lk := t.link(site)
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	// Hello carries the cumulative ack the replay resumes from, letting a
+	// peer restarted from scratch fast-forward its expected sequence.
+	if err := t.encode(sc, msg.Message{Kind: msg.Hello, From: t.site, Seq: lk.ackSeq}); err != nil {
+		return err
+	}
+	// On a first connection the buffer holds frames sent while the dial
+	// was in flight — first transmissions, not replays; only count (and
+	// log) retransmissions on an actual reconnect.
+	if n := len(lk.unacked); n > 0 && reconnect {
+		t.cfg.Stats.Replays(n)
+		t.logf("transport: site %d: replaying %d unacknowledged frame(s) to site %d", t.site, n, site)
+	}
+	for _, f := range lk.unacked {
+		if err := t.encode(sc, f); err != nil {
+			return err
+		}
+	}
+	lk.sc = sc
+	return nil
+}
+
+// finishDial publishes a dial outcome: registers the handshaken connection
+// (starting its heartbeat machinery) or records the failure (declaring the
+// peer down when the window expired).
 func (t *TCP) finishDial(site int, da *dialAttempt, sc *siteConn, err error, declareDown bool) {
 	t.mu.Lock()
 	delete(t.dialing, site)
 	if t.closed && sc != nil {
 		t.mu.Unlock()
-		sc.close()
+		t.dropPeer(site, sc)
 		da.err = fmt.Errorf("transport: closed")
 		close(da.done)
 		return
@@ -409,6 +661,9 @@ func (t *TCP) finishDial(site int, da *dialAttempt, sc *siteConn, err error, dec
 			t.markDownLocked(site, err)
 		}
 		t.mu.Unlock()
+		if declareDown {
+			t.flushLink(site)
+		}
 		da.err = err
 		close(da.done)
 		return
@@ -422,11 +677,7 @@ func (t *TCP) finishDial(site int, da *dialAttempt, sc *siteConn, err error, dec
 		t.cfg.Stats.Reconnect()
 		t.logf("transport: site %d: reconnected to site %d", t.site, site)
 	}
-	// Identify ourselves so the accept side can attribute this connection
-	// (and any later loss of it) to this site.
-	if t.encode(sc, msg.Message{Kind: msg.Hello, From: t.site}) != nil {
-		t.dropPeer(site, sc)
-	} else if t.cfg.heartbeatsOn() {
+	if t.cfg.heartbeatsOn() {
 		t.wg.Add(2)
 		go t.heartbeatLoop(site, sc)
 		go t.connReadLoop(site, sc)
@@ -473,19 +724,31 @@ func (t *TCP) heartbeatLoop(site int, sc *siteConn) {
 }
 
 // connReadLoop watches an established outbound connection for the peer's
-// heartbeat echoes; silence past HeartbeatTimeout (or any read error) means
-// the connection is dead.
+// heartbeat echoes: silence past HeartbeatTimeout (sliding with each read)
+// or any read error means the connection is dead. The echoes carry the
+// peer's cumulative delivery ack, which prunes the replay buffer so a
+// reconnect replays only frames still outstanding.
 func (t *TCP) connReadLoop(site int, sc *siteConn) {
 	defer t.wg.Done()
-	dec := gob.NewDecoder(sc.c)
+	dec := gob.NewDecoder(&slidingConn{Conn: sc.c, timeout: t.cfg.HeartbeatTimeout})
+	lk := t.link(site)
 	for {
-		sc.c.SetReadDeadline(time.Now().Add(t.cfg.HeartbeatTimeout))
 		var m msg.Message
 		if err := dec.Decode(&m); err != nil {
 			t.connLost(site, sc)
 			return
 		}
-		// Only heartbeat echoes travel this direction; ignore content.
+		if m.Kind == msg.Heartbeat && m.Seq > 0 {
+			lk.mu.Lock()
+			if ack := m.Seq; ack > lk.ackSeq && ack < lk.nextSeq {
+				lk.unacked = lk.unacked[ack-lk.ackSeq:]
+				lk.ackSeq = ack
+				if len(lk.unacked) == 0 {
+					lk.unacked = nil // release the backing array when idle
+				}
+			}
+			lk.mu.Unlock()
+		}
 	}
 }
 
@@ -510,6 +773,14 @@ func (t *TCP) dropPeer(site int, sc *siteConn) {
 		delete(t.conns, site)
 	}
 	t.mu.Unlock()
+	if t.cfg.heartbeatsOn() {
+		lk := t.link(site)
+		lk.mu.Lock()
+		if lk.sc == sc {
+			lk.sc = nil
+		}
+		lk.mu.Unlock()
+	}
 	sc.close()
 }
 
