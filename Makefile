@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-short chaos bench
+.PHONY: build test check check-short chaos docs bench
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,10 @@ check-short:
 # chaos soak), run twice under the race detector.
 chaos:
 	./scripts/check.sh chaos
+
+# Documentation gate only: intra-repo markdown links resolve + go vet.
+docs:
+	./scripts/check.sh docs
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1s .

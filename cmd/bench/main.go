@@ -1,11 +1,11 @@
 // Command bench runs the experiment suite of DESIGN.md (E1–E12 plus the
-// A1/A2 ablations): for every figure and checkable claim of the paper it
+// A1–A5 ablations): for every figure and checkable claim of the paper it
 // generates workloads, runs the message-passing engine against the
 // baselines, and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	bench [-e E1,E7,A1,...|all] [-quick]
+//	bench [-e E1,E7,A1,...|all] [-quick] [-json out.json]
 package main
 
 import (
@@ -54,11 +54,13 @@ var experiments = map[string]func(quick bool){
 	"A2":  a2Batching,
 	"A3":  a3Substrate,
 	"A4":  a4Failure,
+	"A5":  a5Observability,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
-// "after" half of BENCH_1.json) and A4 its failure-handling overhead
-// record (BENCH_2.json) to the named file.
+// "after" half of BENCH_1.json), A4 its failure-handling overhead
+// record (BENCH_2.json), and A5 its observability overhead record
+// (BENCH_3.json) to the named file.
 var jsonOut string
 
 func main() {
@@ -1127,6 +1129,172 @@ func a4Failure(quick bool) {
 				"channel; cancel/peer-down watchers measure at noise). That tax is paid " +
 				"only by queries that request a deadline, which is exactly the trade a " +
 				"caller asking for bounded wall-clock time is making.",
+		}
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}
+
+// a5Observability measures what the observability layer costs a query that
+// does not use it, and what opting in costs. All configurations run on the
+// same binary — profiling and event logging are runtime-armed via
+// engine.Options — so the deltas isolate exactly the new work: with both
+// sinks nil, one pointer check per sent message and one hoisted boolean per
+// handled message; with a profile armed, two time.Now calls plus a handful
+// of uncontended atomic adds per message; with a trace buffer armed, one
+// short mutexed ring append on top. The "off" column is also compared
+// against the same benchmarks recorded in BENCH_2.json before this change
+// (watchdog_off), bounding the disabled-path regression across trees. With
+// -json the measurements are written out as BENCH_3.json.
+func a5Observability(quick bool) {
+	header("A5", "observability overhead (profiling, event tracing)",
+		"disabled observability is within noise of the pre-change tree; armed profiling costs two clock reads per message")
+
+	type microResult struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	reps := 6
+	if quick {
+		reps = 2
+	}
+	type mode struct {
+		name         string
+		prof, events bool
+	}
+	modes := []mode{
+		{"off", false, false},
+		{"profile", true, false},
+		{"profile+events", true, true},
+	}
+	benchOnce := func(g *rgg.Graph, db *edb.Database, m mode) microResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			// Sinks are allocated once and reused: the engine re-Inits them
+			// per evaluation (that is their documented lifecycle), so the
+			// loop measures the per-message recording cost, not the one-time
+			// ring allocation a long-lived tool pays once.
+			opts := engine.Options{}
+			if m.prof {
+				opts.Profile = trace.NewProfile()
+			}
+			if m.events {
+				opts.Events = trace.NewEventLog(0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(g, db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return microResult{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+	}
+	// All modes are interleaved rep by rep and each keeps its best, so
+	// machine drift hits every mode equally (same discipline as A4).
+	benchModes := func(prog *ast.Program) map[string]microResult {
+		g := mustBuild(prog)
+		db := edb.FromProgram(prog)
+		best := map[string]microResult{}
+		for r := 0; r < reps; r++ {
+			for _, m := range modes {
+				got := benchOnce(g, db, m)
+				if cur, ok := best[m.name]; !ok || got.NsPerOp < cur.NsPerOp {
+					best[m.name] = got
+				}
+			}
+		}
+		return best
+	}
+
+	type workloadRecord struct {
+		Workload string `json:"workload"`
+		// Off is the default configuration on this tree: Profile and Events
+		// both nil. Compare against Bench2Ref (the same benchmark recorded
+		// as watchdog_off in BENCH_2.json before this change) for the
+		// disabled-path regression.
+		Off         microResult `json:"observability_off"`
+		Profile     microResult `json:"profile_armed"`
+		Both        microResult `json:"profile_and_events_armed"`
+		ProfilePct  float64     `json:"profile_overhead_pct"`
+		BothPct     float64     `json:"profile_and_events_overhead_pct"`
+		Bench2Ref   float64     `json:"bench2_off_ns_per_op"`
+		RefDeltaPct float64     `json:"off_vs_bench2_pct"`
+	}
+	var records []workloadRecord
+	row("workload", "BENCH_2 ns/op", "off ns/op", "vs BENCH_2", "profile ns/op", "profile tax", "+events ns/op", "events tax")
+	row("---", "---", "---", "---", "---", "---", "---", "---")
+	for _, w := range []struct {
+		name string
+		prog *ast.Program
+		ref  float64 // BENCH_2.json watchdog_off ns/op for the same benchmark
+	}{
+		{"E7 (chain n=10)", workload.Program(workload.TCRules, workload.Chain("edge", 10)), 116105.5},
+		{"E11 (P1 n=16)", workload.Program(workload.P1Rules, workload.P1Data(16, 0.7, rand.New(rand.NewSource(11)))), 115755.0},
+	} {
+		best := benchModes(w.prog)
+		off, prof, both := best["off"], best["profile"], best["profile+events"]
+		profPct := (prof.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+		bothPct := (both.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+		refPct := (off.NsPerOp - w.ref) / w.ref * 100
+		records = append(records, workloadRecord{
+			w.name, off, prof, both, profPct, bothPct, w.ref, refPct,
+		})
+		row(w.name, w.ref, off.NsPerOp, fmt.Sprintf("%+.2f%%", refPct),
+			prof.NsPerOp, fmt.Sprintf("%+.2f%%", profPct),
+			both.NsPerOp, fmt.Sprintf("%+.2f%%", bothPct))
+	}
+
+	if jsonOut != "" {
+		record := struct {
+			Record      string            `json:"record"`
+			Description string            `json:"description"`
+			Machine     map[string]any    `json:"machine"`
+			Units       map[string]string `json:"units"`
+			InProcess   []workloadRecord  `json:"in_process"`
+			Commentary  string            `json:"commentary"`
+		}{
+			Record: "BENCH_3",
+			Description: "Query observability (per-node counter shards, profile reports, " +
+				"structured event log) measured with the sinks disabled and armed. " +
+				"Acceptance covers the DEFAULT path: observability_off compares this " +
+				"tree with Profile and Events both nil against the same benchmarks " +
+				"recorded as watchdog_off in BENCH_2.json before the change " +
+				"(off_vs_bench2_pct). profile_overhead_pct and " +
+				"profile_and_events_overhead_pct report the opt-in cost. Best of 6 " +
+				"interleaved benchmark runs per mode. Reproduce with " +
+				"`go run ./cmd/bench -e A5 -json BENCH_3.json`.",
+			Machine: map[string]any{
+				"cpu":    fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+				"go":     runtime.Version(),
+				"goos":   runtime.GOOS,
+				"goarch": runtime.GOARCH,
+			},
+			Units:     map[string]string{"time": "ns/op", "bytes": "B/op", "allocs": "allocs/op"},
+			InProcess: records,
+			Commentary: "With both sinks nil the send path pays one pointer check per " +
+				"message and the process loop one hoisted boolean, which is why " +
+				"off_vs_bench2_pct sits at measurement noise. Arming a profile adds " +
+				"two monotonic clock reads (time.Now around each handled message) " +
+				"plus uncontended atomic adds on the owning node's cache line — per-" +
+				"node shards are written only by the node's own goroutine, so there " +
+				"is no shared-counter contention. The event log adds one short " +
+				"mutexed append into a preallocated ring; its fixed capacity (oldest " +
+				"events drop first) bounds both memory and the append cost. These " +
+				"scheduler-bound microqueries (~120us, a few hundred messages) are " +
+				"close to the worst case for per-message taxes; the relative cost " +
+				"shrinks as queries grow join- or data-bound.",
 		}
 		buf, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {

@@ -1,0 +1,84 @@
+// Command mdlinkcheck verifies that intra-repository markdown links
+// resolve: every [text](target) whose target is a relative path must name
+// an existing file or directory, resolved against the file containing the
+// link. External links (a scheme like https:), bare #fragment anchors, and
+// fragments on resolving paths are skipped — this is a docs-rot gate, not
+// a crawler.
+//
+//	mdlinkcheck README.md doc/*.md
+//	mdlinkcheck            # checks every *.md under the current tree
+//
+// Exit status 1 if any link is broken, listing each as file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline links [text](target). Reference-style links and
+// autolinks are rare in this repo and out of scope.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// schemeRE recognizes absolute URLs (https://, mailto:, …).
+var schemeRE = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		if err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Don't descend into VCS or dependency directories.
+				if name := d.Name(); path != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "node_modules") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+			os.Exit(2)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if schemeRE.MatchString(target) || strings.HasPrefix(target, "#") {
+					continue
+				}
+				// Anchors within a resolving file are not checked.
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: broken link %s (resolved %s)\n", file, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,14 @@
 //
 //	mpq [-engine message-passing|semi-naive|naive|magic-sets|brute-force]
 //	    [-strategy greedy|qualtree|leftright] [-batch] [-stats] [-graph]
+//	    [-profile] [-trace-out events.json]
 //	    [-data pred=file.csv]... [-i] [program.dl]
+//
+// Observability (message-passing engine; see doc/OBSERVABILITY.md):
+// -profile prints a per-node report after evaluation — top nodes by
+// messages, rows, joins, and wall-time, the termination-round timeline,
+// and a per-site breakdown. -trace-out writes the evaluation's event log
+// as Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.
 //
 // The program file contains facts, rules, and at least one query — either
 // rules for the distinguished predicate goal, or `?- body.` sugar:
@@ -29,6 +36,8 @@ import (
 
 	"repro"
 	"repro/internal/parser"
+	"repro/internal/trace"
+	"repro/internal/trace/export"
 )
 
 // dataFlags collects repeated -data pred=path flags.
@@ -45,6 +54,10 @@ func main() {
 	graph := flag.Bool("graph", false, "print the rule/goal graph before evaluating")
 	interactive := flag.Bool("i", false, "interactive session")
 	traceMsgs := flag.Bool("trace", false, "log every engine message to stderr")
+	profile := flag.Bool("profile", false, "print a per-node profile report after evaluation (message-passing engine)")
+	profileTop := flag.Int("profile-top", 5, "how many nodes each -profile top-K table shows")
+	traceOut := flag.String("trace-out", "", "write the evaluation's event log as Chrome trace_event JSON to this file")
+	traceCap := flag.Int("trace-events", 0, "event-log ring capacity for -trace-out (0 = default 65536; oldest events drop first)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock time (message-passing engine; 0 = none)")
 	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
 	var data dataFlags
@@ -69,9 +82,18 @@ func main() {
 	if *timeout > 0 {
 		opts = append(opts, mpq.WithDeadline(*timeout))
 	}
+	obs := &observer{top: *profileTop, out: *traceOut}
+	if *profile {
+		obs.prof = trace.NewProfile()
+		opts = append(opts, mpq.WithProfile(obs.prof))
+	}
+	if *traceOut != "" {
+		obs.log = trace.NewEventLog(*traceCap)
+		opts = append(opts, mpq.WithEventLog(obs.log))
+	}
 
 	if *interactive {
-		repl(flag.Arg(0), data, opts, *stats)
+		repl(flag.Arg(0), data, opts, *stats, obs)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -106,6 +128,43 @@ func main() {
 	if *stats {
 		printStats(ans, eng)
 	}
+	if err := obs.finish(); err != nil {
+		fatal(err)
+	}
+}
+
+// observer holds the opt-in observability sinks (-profile, -trace-out) and
+// renders them after an evaluation. Each evaluation re-initializes the
+// sinks, so in the REPL the report and trace file cover the latest query.
+type observer struct {
+	prof *trace.Profile
+	log  *trace.EventLog
+	out  string // -trace-out path
+	top  int
+}
+
+func (o *observer) finish() error {
+	if o.prof != nil {
+		fmt.Fprintln(os.Stderr)
+		if err := export.WriteReport(os.Stderr, o.prof.Snapshot(), o.top); err != nil {
+			return err
+		}
+	}
+	if o.log != nil {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := export.WriteTraceEvents(f, o.log); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", o.out)
+	}
+	return nil
 }
 
 func loadData(sys *mpq.System, data dataFlags) error {
@@ -149,7 +208,7 @@ func printStats(ans *mpq.Answer, eng mpq.Engine) {
 // repl reads clauses from stdin. Facts and rules accumulate; `?- body.`
 // evaluates immediately against everything accumulated so far. A starting
 // program file (optional) seeds the session.
-func repl(programPath string, data dataFlags, opts []mpq.Option, stats bool) {
+func repl(programPath string, data dataFlags, opts []mpq.Option, stats bool, obs *observer) {
 	var clauses []string
 	if programPath != "" {
 		src, err := os.ReadFile(programPath)
@@ -205,7 +264,7 @@ func repl(programPath string, data dataFlags, opts []mpq.Option, stats bool) {
 		clause := partial
 		partial = ""
 		if strings.HasPrefix(strings.TrimSpace(clause), "?-") {
-			evalQuery(clauses, clause, data, opts, stats)
+			evalQuery(clauses, clause, data, opts, stats, obs)
 			continue
 		}
 		// Check the clause stands on its own (syntax, safety) before
@@ -218,7 +277,7 @@ func repl(programPath string, data dataFlags, opts []mpq.Option, stats bool) {
 	}
 }
 
-func evalQuery(clauses []string, query string, data dataFlags, opts []mpq.Option, stats bool) {
+func evalQuery(clauses []string, query string, data dataFlags, opts []mpq.Option, stats bool, obs *observer) {
 	src := strings.Join(clauses, "\n") + "\n" + query
 	sys, err := mpq.Load(src)
 	if err != nil {
@@ -237,6 +296,9 @@ func evalQuery(clauses []string, query string, data dataFlags, opts []mpq.Option
 	printAnswer(ans)
 	if stats {
 		printStats(ans, mpq.MessagePassing)
+	}
+	if err := obs.finish(); err != nil {
+		fmt.Println(err)
 	}
 }
 

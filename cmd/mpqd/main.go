@@ -14,11 +14,18 @@
 //	mpqd -program q.dl -site 2 -addrs :7701,:7702,:7703
 //
 // Recursive strong components are always co-located (see engine.Partition).
+//
+// Observability (see doc/OBSERVABILITY.md): -metrics ADDR serves live
+// Prometheus counters on /metrics — engine message/row/round counters plus
+// the transport failure counters (heartbeats, reconnects, replays, peer
+// downs) — and Go runtime profiling under /debug/pprof/. -profile prints a
+// per-node report for this site's partition when the query finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -26,6 +33,7 @@ import (
 	"repro"
 	"repro/internal/engine"
 	"repro/internal/trace"
+	"repro/internal/trace/export"
 	"repro/internal/transport"
 )
 
@@ -41,6 +49,9 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "abort the query after this wall-clock time (0 = no deadline)")
 	chaos := flag.String("chaos", "", "fault-injection spec: 'delay:FROM-TO:D[:JITTER];cut:FROM-TO:N[:HEAL];crash:SITE:N' ('*' = any site)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for deterministic chaos jitter")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof/ on this address (e.g. :9090)")
+	profile := flag.Bool("profile", false, "print a per-node profile report for this site's partition after the query")
+	profileTop := flag.Int("profile-top", 5, "how many nodes each -profile top-K table shows")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -60,6 +71,16 @@ func main() {
 	hosts := engine.Partition(g, len(addrs))
 
 	st := &trace.Stats{}
+	if *metricsAddr != "" {
+		mux := export.DiagnosticsMux(st.Snapshot)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "mpqd: site %d diagnostics on http://%s/metrics\n", *site, *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mpqd: metrics server: %v\n", err)
+			}
+		}()
+	}
 	cfg := transport.Config{
 		DialTimeout:       *dialTimeout,
 		HeartbeatInterval: *heartbeat,
@@ -119,9 +140,20 @@ func main() {
 	}
 
 	opts := engine.Options{Stats: st, Deadline: *deadline, PeerDown: down}
+	var prof *trace.Profile
+	if *profile {
+		prof = trace.NewProfile()
+		opts.Profile = prof
+	}
 	res, err := engine.RunSites(g, sys.DB, net, local, hosts, *site, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if prof != nil {
+		fmt.Fprintf(os.Stderr, "\nsite %d partition:\n", *site)
+		if err := export.WriteReport(os.Stderr, prof.Snapshot(), *profileTop); err != nil {
+			fatal(err)
+		}
 	}
 	if res == nil {
 		fmt.Fprintf(os.Stderr, "mpqd: site %d done\n", *site)

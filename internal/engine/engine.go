@@ -80,6 +80,19 @@ type Options struct {
 	// pass its own transport's channel so that every site unblocks even if
 	// Abort messages to it are lost.
 	PeerDown <-chan transport.PeerDown
+	// Profile, when non-nil, collects per-node counters (messages, rows,
+	// joins, wall-time per rule/goal node) plus the termination-round
+	// timeline; render it with internal/trace/export.WriteReport. The
+	// engine sizes and labels the profile itself. Multi-site runs profile
+	// per site: each RunSites call observes the nodes its site hosts.
+	// Disabled (nil), the only cost is one nil check per message.
+	Profile *trace.Profile
+	// Events, when non-nil, records one structured event per handled
+	// message and per protocol round into a bounded ring, exportable as
+	// Chrome trace_event JSON (export.WriteTraceEvents). Opt-in; like
+	// Trace it adds per-message work (a timestamped, mutex-guarded
+	// append), so keep it off benchmark paths.
+	Events *trace.EventLog
 }
 
 // Run evaluates the graph's query against the database with every node
@@ -207,6 +220,12 @@ type runner struct {
 	traceMu  sync.Mutex
 	wg       sync.WaitGroup
 
+	// Observability (nil when disabled): prof shards the counters by node,
+	// events records the structured event log, begin anchors both clocks.
+	prof   *trace.Profile
+	events *trace.EventLog
+	begin  time.Time
+
 	// hosts/site describe the node→site partition for multi-site runs (nil
 	// hosts means everything is local); abort uses them to deliver Abort
 	// messages to local mailboxes synchronously but remote sites in the
@@ -226,9 +245,55 @@ func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Optio
 		stats = &trace.Stats{}
 	}
 	db.WarmIndexesFor(edbIndexNeeds(g))
-	return &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
+	rt := &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
 		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace,
-		hosts: hosts, site: site}, nil
+		prof: opts.Profile, events: opts.Events,
+		hosts: hosts, site: site}
+	if rt.prof != nil || rt.events != nil {
+		rt.initObservers()
+	}
+	return rt, nil
+}
+
+// initObservers sizes the profile/event log for this graph and labels
+// every shard with the node's adorned atom, kind, and hosting site, so
+// exports and reports are readable without the graph in hand.
+func (rt *runner) initObservers() {
+	n := rt.driver + 1
+	if rt.prof != nil {
+		rt.prof.Init(n)
+	}
+	if rt.events != nil {
+		rt.events.Init(n)
+	}
+	rt.begin = time.Now()
+	setMeta := func(id int, m trace.NodeMeta) {
+		if rt.prof != nil {
+			rt.prof.SetMeta(id, m)
+		}
+		if rt.events != nil {
+			rt.events.SetMeta(id, m)
+		}
+	}
+	site := func(id int) int {
+		if rt.hosts != nil {
+			return rt.hosts[id]
+		}
+		return 0
+	}
+	for id, nd := range rt.g.Nodes {
+		kind := "rule"
+		switch {
+		case nd.Kind == rgg.Goal && nd.EDB:
+			kind = "edb"
+		case nd.Kind == rgg.Goal && nd.CycleTo != rgg.NoNode:
+			kind = "variant"
+		case nd.Kind == rgg.Goal:
+			kind = "goal"
+		}
+		setMeta(id, trace.NodeMeta{Label: nd.Adorned().String(), Kind: kind, Site: site(id)})
+	}
+	setMeta(rt.driver, trace.NodeMeta{Label: "driver", Kind: "driver", Site: site(rt.driver)})
 }
 
 // edbIndexNeeds lists the composite indexes evaluation will probe on the
@@ -346,7 +411,9 @@ done:
 	return answers, nil
 }
 
-// send dispatches a message and records it.
+// send dispatches a message and records it: once into the aggregate
+// stats, and — when profiling — once into the *sender's* shard, so every
+// message is attributed to the rule/goal node that produced it.
 func (rt *runner) send(m msg.Message) {
 	if rt.traceW != nil {
 		rt.traceMu.Lock()
@@ -373,6 +440,28 @@ func (rt *runner) send(m msg.Message) {
 		rt.stats.ReqEndMsg()
 	case msg.EndReq, msg.EndNeg, msg.EndConf, msg.Nudge:
 		rt.stats.ProtocolMsg()
+	}
+	if rt.prof != nil && m.From >= 0 && m.From < rt.prof.Size() {
+		sh := rt.prof.Shard(m.From)
+		switch m.Kind {
+		case msg.RelReq, msg.End, msg.ReqEnd:
+			sh.Msg()
+		case msg.TupReq:
+			sh.Msg()
+			rows := m.Count
+			if rows < 1 {
+				rows = 1
+			}
+			sh.ReqRows(rows)
+		case msg.Tuple:
+			sh.Msg()
+			sh.RowsOut(1)
+		case msg.TupleBatch:
+			sh.Msg()
+			sh.RowsOut(m.Count)
+		case msg.EndReq, msg.EndNeg, msg.EndConf, msg.Nudge:
+			sh.ProtocolMsg()
+		}
 	}
 	rt.net.Send(m)
 }

@@ -189,10 +189,10 @@ func (g *goalState) onTuple(vals []symtab.Sym) {
 	}
 	t := relation.Tuple(vals)
 	if !g.answers.Insert(t) {
-		g.p.rt.stats.Dup()
+		g.p.statDup()
 		return
 	}
-	g.p.rt.stats.Stored()
+	g.p.statStored()
 	stored := g.answers.Rows()[g.answers.Len()-1] // the engine-owned copy
 	key := g.dKey(stored)
 	g.byDKey[key] = append(g.byDKey[key], stored)
@@ -230,12 +230,12 @@ func (g *goalState) serviceEDB(vals []symtab.Sym) {
 		}
 		binding[pos] = vals[i]
 	}
-	g.p.rt.stats.EDBScan()
+	g.p.statEDBScan()
 	if d := g.p.rt.edbDelay; d > 0 {
 		time.Sleep(d) // simulated retrieval latency (see Options.EDBDelay)
 	}
 	rows := g.edbRel.Select(binding)
-	g.p.rt.stats.EDBTuples(len(rows))
+	g.p.statEDBTuples(len(rows))
 	buf := make(relation.Tuple, len(g.carried))
 rows:
 	for _, row := range rows {

@@ -3,11 +3,13 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/adorn"
 	"repro/internal/msg"
 	"repro/internal/rgg"
 	"repro/internal/symtab"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -21,6 +23,12 @@ type proc struct {
 	id   int
 	node *rgg.Node
 	box  *transport.Mailbox
+
+	// shard is this node's profile counter shard, nil unless
+	// Options.Profile is set. Hooks that attribute work to a node
+	// (statDerived, statJoins, ...) update it alongside the aggregate
+	// stats; rt.send attributes sent messages by m.From.
+	shard *trace.NodeShard
 
 	// recursive is true when the node belongs to a nontrivial strong
 	// component; such nodes run the Fig 2 protocol instead of sending
@@ -86,6 +94,9 @@ func (f *feedState) settled() bool {
 func newProc(rt *runner, id int, box *transport.Mailbox) *proc {
 	n := rt.g.Nodes[id]
 	p := &proc{rt: rt, id: id, node: n, box: box, feeds: make(map[int]*feedState)}
+	if rt.prof != nil {
+		p.shard = rt.prof.Shard(id)
+	}
 	p.recursive = rt.g.Recursive(id)
 	if p.recursive {
 		p.leaderID = rt.g.Leader[n.SCC]
@@ -161,6 +172,7 @@ func dynamicPositions(ad adorn.Adornment) []int {
 // tuple reaches the channel before any End that covers it (per-sender FIFO
 // does the rest), and emptyQueues() is never evaluated with hidden output.
 func (p *proc) loop() {
+	observe := p.shard != nil || p.rt.events != nil
 	for {
 		m, ok := p.box.Get()
 		if !ok || m.Kind == msg.Shutdown {
@@ -173,6 +185,10 @@ func (p *proc) loop() {
 			p.rt.abort(m.Reason, m.Note)
 			return
 		}
+		var start time.Time
+		if observe {
+			start = time.Now()
+		}
 		if !isWork(m.Kind) {
 			p.flushAll()
 		}
@@ -181,6 +197,76 @@ func (p *proc) loop() {
 			p.flushAll()
 		}
 		p.after(m)
+		if observe {
+			p.observe(m, start)
+		}
+	}
+}
+
+// observe records the handling span of one message — wall-clock from
+// dequeue to completion, including every join, derivation, and send the
+// message triggered — into the node's profile shard and the event log.
+// Only reached when profiling or event tracing is on.
+func (p *proc) observe(m msg.Message, start time.Time) {
+	dur := time.Since(start)
+	at := start.Sub(p.rt.begin)
+	if p.shard != nil {
+		p.shard.Handled(at, dur)
+	}
+	if l := p.rt.events; l != nil {
+		rows := m.Count
+		if rows < 1 {
+			rows = 1
+		}
+		l.Add(trace.Event{At: at, Dur: dur, Op: trace.EvHandle,
+			Node: p.id, From: m.From, Kind: uint8(m.Kind), Rows: rows})
+	}
+}
+
+// Attribution hooks: each updates the aggregate stats and, when profiling,
+// this node's shard. Rule/goal handlers call these instead of rt.stats so
+// every derived tuple, join probe, and EDB scan lands on the node that did
+// the work.
+
+func (p *proc) statDerived() {
+	p.rt.stats.Derived()
+	if p.shard != nil {
+		p.shard.Derived()
+	}
+}
+
+func (p *proc) statStored() {
+	p.rt.stats.Stored()
+	if p.shard != nil {
+		p.shard.Stored()
+	}
+}
+
+func (p *proc) statDup() {
+	p.rt.stats.Dup()
+	if p.shard != nil {
+		p.shard.Dup()
+	}
+}
+
+func (p *proc) statJoins(n int) {
+	p.rt.stats.Joins(n)
+	if p.shard != nil {
+		p.shard.Joins(n)
+	}
+}
+
+func (p *proc) statEDBScan() {
+	p.rt.stats.EDBScan()
+	if p.shard != nil {
+		p.shard.EDBScan()
+	}
+}
+
+func (p *proc) statEDBTuples(n int) {
+	p.rt.stats.EDBTuples(n)
+	if p.shard != nil {
+		p.shard.EDBTuples(n)
 	}
 }
 
@@ -386,6 +472,15 @@ func (p *proc) after(m msg.Message) {
 func (p *proc) startRound() {
 	p.rt.stats.Round()
 	p.round++
+	if p.shard != nil {
+		p.shard.Round()
+	}
+	if p.rt.prof != nil {
+		p.rt.prof.MarkRound(p.id, p.round, false)
+	}
+	if l := p.rt.events; l != nil {
+		l.Add(trace.Event{At: l.Since(), Op: trace.EvRound, Node: p.id, Seq: p.round})
+	}
 	p.inRound = true
 	p.anyNeg = false
 	p.idleness = 1
@@ -454,6 +549,12 @@ func (p *proc) answerRound() {
 		// in the strong component are idle and end messages have been
 		// received from all feeders of the strong component" (Thm 3.1).
 		p.confirmed = true
+		if p.rt.prof != nil {
+			p.rt.prof.MarkRound(p.id, p.round, true)
+		}
+		if l := p.rt.events; l != nil {
+			l.Add(trace.Event{At: l.Since(), Op: trace.EvConfirm, Node: p.id, Seq: p.round})
+		}
 		p.goal.confirmedEnd()
 		return
 	}

@@ -264,7 +264,7 @@ func (r *ruleState) onSubTuple(src int, vals []symtab.Sym) {
 	if s.rel.Insert(row) {
 		r.trigger(src, s.colSlots, row)
 	} else {
-		r.p.rt.stats.Dup()
+		r.p.statDup()
 	}
 }
 
@@ -346,7 +346,7 @@ func (r *ruleState) emitHead(slots []symtab.Sym) {
 			vals[i] = r.headConsts[i]
 		}
 	}
-	r.p.rt.stats.Derived()
+	r.p.statDerived()
 	key := vals.Key()
 	if r.sentHeads[key] {
 		return
@@ -376,7 +376,7 @@ func (r *ruleState) enumerate(sources []int, depth int, slots []symtab.Sym, yiel
 		binding[i] = slots[sl] // NoSym when the slot is unset
 	}
 	rows := rel.Select(binding)
-	r.p.rt.stats.Joins(len(rows))
+	r.p.statJoins(len(rows))
 	for _, row := range rows {
 		var set []int
 		ok := true

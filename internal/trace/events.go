@@ -1,0 +1,116 @@
+// Structured event log: an opt-in, bounded record of what each node
+// process did and when, exportable as Chrome trace_event JSON (see
+// internal/trace/export) so message flow and quiescence rounds render on a
+// timeline in chrome://tracing or Perfetto.
+//
+// The log is a ring buffer: it never grows past its capacity, so tracing a
+// runaway query costs bounded memory — the newest events win and the
+// exporter reports how many older ones were overwritten. Recording takes
+// one short mutex-protected append per handled message; like Options.Trace
+// this serializes recorders and is meant for diagnosis, not for the
+// benchmark path (the disabled path is a nil check).
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Event op codes.
+const (
+	// EvHandle: a node process handled one message (the span includes any
+	// joins, derivations, and sends the message triggered).
+	EvHandle uint8 = iota
+	// EvRound: a component leader originated a termination-protocol round.
+	EvRound
+	// EvConfirm: a leader's round confirmed quiescence (the component's
+	// end message follows).
+	EvConfirm
+)
+
+// Event is one record in the log. Times are relative to the log's Init.
+type Event struct {
+	At   time.Duration
+	Dur  time.Duration // handling span; zero for instant events
+	Op   uint8         // EvHandle, EvRound, EvConfirm
+	Node int           // the acting node (receiver for EvHandle)
+	From int           // sender node id (EvHandle)
+	Kind uint8         // msg.Kind of the handled message (EvHandle)
+	Rows int           // rows carried by the handled message, if batched
+	Seq  int           // round number (EvRound/EvConfirm)
+}
+
+// EventLog is a fixed-capacity ring of Events plus the node metadata needed
+// to render them. The zero value is not usable; call NewEventLog.
+type EventLog struct {
+	mu    sync.Mutex
+	start time.Time
+	buf   []Event
+	n     int // total events ever added
+	meta  []NodeMeta
+}
+
+// DefaultEventCap is the ring capacity NewEventLog(0) selects: enough for
+// every message of a mid-size query, bounded for runaway ones.
+const DefaultEventCap = 1 << 16
+
+// NewEventLog returns a log holding at most capacity events (0 selects
+// DefaultEventCap).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{start: time.Now(), buf: make([]Event, 0, capacity)}
+}
+
+// Init restarts the clock and empties the ring; the engine calls it when
+// an evaluation starts, sizing meta for n nodes plus the driver.
+func (l *EventLog) Init(n int) {
+	l.mu.Lock()
+	l.start = time.Now()
+	l.buf = l.buf[:0]
+	l.n = 0
+	l.meta = make([]NodeMeta, n)
+	l.mu.Unlock()
+}
+
+// SetMeta labels node id for exports.
+func (l *EventLog) SetMeta(id int, m NodeMeta) {
+	l.mu.Lock()
+	if id < len(l.meta) {
+		l.meta[id] = m
+	}
+	l.mu.Unlock()
+}
+
+// Since returns the time elapsed since Init, the log's clock.
+func (l *EventLog) Since() time.Duration { return time.Since(l.start) }
+
+// Add appends one event, overwriting the oldest once the ring is full.
+func (l *EventLog) Add(e Event) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.n%cap(l.buf)] = e
+	}
+	l.n++
+	l.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first, how many older events
+// the ring dropped, and the node metadata.
+func (l *EventLog) Events() (events []Event, dropped int, meta []NodeMeta) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	meta = append([]NodeMeta(nil), l.meta...)
+	if l.n <= cap(l.buf) {
+		return append([]Event(nil), l.buf...), 0, meta
+	}
+	dropped = l.n - cap(l.buf)
+	head := l.n % cap(l.buf) // oldest retained event's slot
+	events = make([]Event, 0, cap(l.buf))
+	events = append(events, l.buf[head:]...)
+	events = append(events, l.buf[:head]...)
+	return events, dropped, meta
+}

@@ -1,0 +1,133 @@
+// Package export renders trace data for operators: Prometheus text-format
+// counters and an HTTP diagnostics mux for mpqd, Chrome trace_event JSON
+// for chrome://tracing / Perfetto, and the per-query profile report behind
+// mpq -profile. Every metric's mapping to its paper concept is documented
+// in doc/OBSERVABILITY.md.
+package export
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// metricRow is one exposition line: metric name, optional label pair,
+// help text (emitted once per metric), and a value extractor.
+type metricRow struct {
+	name        string
+	label       string // `kind="tuple"` etc., empty for unlabelled metrics
+	help, mtype string
+	value       func(sn trace.Snapshot) int64
+}
+
+// promRows lists every exported series in a fixed order, so the output is
+// deterministic (golden-tested) and diffs stay readable. Series of one
+// metric family must be adjacent (Prometheus exposition format requires
+// it).
+var promRows = []metricRow{
+	// §3.1 basic messages, by kind. One unit per message; batches count
+	// their rows in mpq_rows_total below (see trace.Snapshot.Messages).
+	{"mpq_messages_total", `kind="relation_request"`, "Basic messages sent, by §3.1 kind (a batch is one message).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.RelReqs }},
+	{"mpq_messages_total", `kind="tuple_request"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.TupReqs }},
+	{"mpq_messages_total", `kind="tuple"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.Tuples }},
+	{"mpq_messages_total", `kind="tuple_batch"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.TupleBatches }},
+	{"mpq_messages_total", `kind="end"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.Ends }},
+	{"mpq_messages_total", `kind="request_end"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.ReqEnds }},
+	// Rows moved, independent of batching.
+	{"mpq_rows_total", `dir="delivered"`, "Rows carried by tuple deliveries and tuple requests (batching-invariant).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.TupleRows }},
+	{"mpq_rows_total", `dir="requested"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.TupReqRows }},
+	// §3.2 termination protocol.
+	{"mpq_protocol_messages_total", "", "Termination-protocol messages (end request/negative/confirmed, nudges; §3.2 Fig 2).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Protocol }},
+	{"mpq_protocol_rounds_total", "", "Termination-protocol rounds originated by component leaders (Fig 2 idleness probes).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Rounds }},
+	// Evaluation effort.
+	{"mpq_tuples_derived_total", "", "Head tuples derived at rule nodes, before deduplication.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Derived }},
+	{"mpq_tuples_stored_total", "", "New tuples stored at goal nodes (§3.1 temporary relations).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Stored }},
+	{"mpq_tuples_duplicate_total", "", "Duplicate tuples discarded by goal/rule stores.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Dups }},
+	{"mpq_join_probes_total", "", "Join probe candidates examined by rule-node backtracking joins.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Joins }},
+	{"mpq_edb_scans_total", "", "Selections performed against base (EDB) relations.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.EDBScans }},
+	{"mpq_edb_tuples_total", "", "Tuples read from base (EDB) relations.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.EDBTuples }},
+	// Transport and failure handling (PR 2's counters).
+	{"mpq_transport_heartbeats_total", "", "Heartbeat frames sent over TCP site-pair connections.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Heartbeats }},
+	{"mpq_transport_reconnects_total", "", "Successful re-dials after a connection loss.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Reconnects }},
+	{"mpq_transport_replayed_frames_total", "", "Frames re-sent by a reconnect's unacked-suffix replay.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Replays }},
+	{"mpq_transport_peer_down_total", "", "Peer sites declared unreachable.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.PeerDowns }},
+	{"mpq_aborts_total", "", "Query aborts initiated (at most one per site per query).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Aborts }},
+	{"mpq_dropped_sends_total", "", "Sends dropped at the transport (failed peer or closed network).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.DroppedSends }},
+	{"mpq_dropped_puts_total", "", "Messages dropped by closed mailboxes during shutdown or abort.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.DroppedPuts }},
+	{"mpq_fault_injected_drops_total", "", "Messages dropped by injected faults (FaultNet chaos testing).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.FaultDrops }},
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). Output order is fixed, so the exact bytes for a
+// given snapshot are stable across runs and Go versions.
+func WritePrometheus(w io.Writer, sn trace.Snapshot) error {
+	var b strings.Builder
+	for _, r := range promRows {
+		if r.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", r.name, r.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", r.name, r.mtype)
+		}
+		if r.label != "" {
+			fmt.Fprintf(&b, "%s{%s} %d\n", r.name, r.label, r.value(sn))
+		} else {
+			fmt.Fprintf(&b, "%s %d\n", r.name, r.value(sn))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler serves WritePrometheus over HTTP, reading a fresh
+// snapshot per scrape.
+func MetricsHandler(snapshot func() trace.Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snapshot())
+	})
+}
+
+// DiagnosticsMux is the full diagnostics surface mpqd serves on -metrics:
+// /metrics in Prometheus format plus the standard net/http/pprof handlers
+// under /debug/pprof/ (registered explicitly so nothing leaks onto
+// http.DefaultServeMux).
+func DiagnosticsMux(snapshot func() trace.Snapshot) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(snapshot))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "mpqd diagnostics: /metrics (Prometheus), /debug/pprof/ (Go profiles)\n")
+	})
+	return mux
+}

@@ -1,0 +1,262 @@
+// Per-node observability: where trace.Stats aggregates one counter set for
+// a whole evaluation, a Profile shards the same quantities by rule/goal
+// graph node, timestamps activity, and records a timeline of termination-
+// protocol rounds. It answers the operator questions the aggregate cannot:
+// WHICH node is hot (messages, rows, joins), WHERE wall-clock goes, and
+// WHEN the Fig 2 protocol converged.
+//
+// The design keeps the hot path lock-free: each node process owns one
+// NodeShard of atomic counters (node processes never contend on a shared
+// word, and the send path touches only the sender's shard), and the
+// snapshot is taken after the evaluation drains. Only the low-frequency
+// round timeline takes a mutex.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeShard is one node's counter set. All fields are updated with atomic
+// operations; a shard is written by its node's process (plus the driver's
+// sends attributed to the driver shard) and read at snapshot time.
+type NodeShard struct {
+	msgs     atomic.Int64 // basic messages sent (§3.1 vocabulary)
+	protocol atomic.Int64 // Fig 2 protocol messages sent
+	rowsOut  atomic.Int64 // rows carried by Tuple/TupleBatch sends
+	reqRows  atomic.Int64 // bindings carried by tuple-request sends
+	handled  atomic.Int64 // messages handled (mailbox receipts)
+	derived  atomic.Int64 // head tuples derived (rule nodes)
+	stored   atomic.Int64 // new tuples stored (goal nodes)
+	dups     atomic.Int64 // duplicates discarded
+	joins    atomic.Int64 // join probe candidates examined
+	edbScans atomic.Int64 // EDB selections performed
+	edbRows  atomic.Int64 // tuples read from the EDB
+	rounds   atomic.Int64 // protocol rounds originated (component leaders)
+	busyNs   atomic.Int64 // wall-clock spent handling messages
+	firstNs  atomic.Int64 // first activity, ns since profile start (0 = none)
+	lastNs   atomic.Int64 // latest activity, ns since profile start
+}
+
+// Per-node increment hooks, mirroring the Stats hooks.
+
+func (s *NodeShard) Msg()            { s.msgs.Add(1) }
+func (s *NodeShard) ProtocolMsg()    { s.protocol.Add(1) }
+func (s *NodeShard) RowsOut(n int)   { s.rowsOut.Add(int64(n)) }
+func (s *NodeShard) ReqRows(n int)   { s.reqRows.Add(int64(n)) }
+func (s *NodeShard) Derived()        { s.derived.Add(1) }
+func (s *NodeShard) Stored()         { s.stored.Add(1) }
+func (s *NodeShard) Dup()            { s.dups.Add(1) }
+func (s *NodeShard) Joins(n int)     { s.joins.Add(int64(n)) }
+func (s *NodeShard) EDBScan()        { s.edbScans.Add(1) }
+func (s *NodeShard) EDBTuples(n int) { s.edbRows.Add(int64(n)) }
+func (s *NodeShard) Round()          { s.rounds.Add(1) }
+
+// Handled records one handled message and its handling span: at is the
+// handling start relative to the profile start, busy the wall-clock spent.
+func (s *NodeShard) Handled(at, busy time.Duration) {
+	s.handled.Add(1)
+	s.busyNs.Add(int64(busy))
+	s.firstNs.CompareAndSwap(0, int64(at)+1) // +1 so "started at exactly 0" is not "never"
+	end := int64(at + busy)
+	for {
+		last := s.lastNs.Load()
+		if end <= last || s.lastNs.CompareAndSwap(last, end) {
+			return
+		}
+	}
+}
+
+// NodeMeta labels one shard for reports and exports.
+type NodeMeta struct {
+	// Label is the human-readable node description (adorned atom for goal
+	// nodes, the rule for rule nodes, "driver" for the driver shard).
+	Label string
+	// Kind is "goal", "rule", "edb", "variant", or "driver".
+	Kind string
+	// Site is the hosting site id (0 for in-process evaluation).
+	Site int
+}
+
+// RoundMark is one entry of the termination-protocol timeline: a protocol
+// round originated (or concluded) at a component leader.
+type RoundMark struct {
+	At        time.Duration // since profile start
+	Node      int           // the component leader's node id
+	Round     int           // the leader's round number
+	Confirmed bool          // true when this round confirmed quiescence
+}
+
+// Profile collects per-node counters for one query evaluation. Create one
+// with NewProfile, pass it via the engine's Options (or mpq.WithProfile),
+// and read it with Snapshot after the evaluation returns. A Profile must
+// not be shared by concurrent evaluations.
+type Profile struct {
+	start  time.Time
+	shards []NodeShard
+	meta   []NodeMeta
+
+	mu       sync.Mutex
+	timeline []RoundMark
+}
+
+// NewProfile returns an empty profile. The engine sizes it (Init) when the
+// evaluation starts.
+func NewProfile() *Profile { return &Profile{} }
+
+// Init sizes the profile for n shards (nodes plus driver) and starts its
+// clock. The engine calls this once per evaluation; calling it again
+// resets the profile for reuse.
+func (p *Profile) Init(n int) {
+	p.start = time.Now()
+	p.shards = make([]NodeShard, n)
+	p.meta = make([]NodeMeta, n)
+	p.mu.Lock()
+	p.timeline = nil
+	p.mu.Unlock()
+}
+
+// SetMeta labels shard id; the engine calls it during setup.
+func (p *Profile) SetMeta(id int, m NodeMeta) { p.meta[id] = m }
+
+// Shard returns node id's counter shard (the driver uses the last shard).
+func (p *Profile) Shard(id int) *NodeShard { return &p.shards[id] }
+
+// Size returns the number of shards (0 before Init).
+func (p *Profile) Size() int { return len(p.shards) }
+
+// Since returns the time elapsed since Init, the profile's clock.
+func (p *Profile) Since() time.Duration { return time.Since(p.start) }
+
+// MarkRound appends to the termination-round timeline. Rounds are rare
+// (one per component quiescence probe), so a mutex is fine here; the
+// counter path stays lock-free.
+func (p *Profile) MarkRound(node, round int, confirmed bool) {
+	at := time.Since(p.start)
+	p.mu.Lock()
+	p.timeline = append(p.timeline, RoundMark{At: at, Node: node, Round: round, Confirmed: confirmed})
+	p.mu.Unlock()
+}
+
+// NodeProfile is the immutable per-node view inside a ProfileSnapshot.
+type NodeProfile struct {
+	ID int
+	NodeMeta
+	// Msgs counts basic messages sent by this node; Protocol the Fig 2
+	// messages. RowsOut / ReqRows follow the Snapshot.Messages convention:
+	// batches count rows here and one message in Msgs.
+	Msgs, Protocol  int64
+	RowsOut         int64
+	ReqRows         int64
+	Handled         int64
+	Derived, Stored int64
+	Dups            int64
+	Joins           int64
+	EDBScans        int64
+	EDBRows         int64
+	Rounds          int64
+	// Busy is wall-clock spent handling messages (includes triggered joins
+	// and sends). First/Last bound the node's activity window relative to
+	// the evaluation start; Last-First is the node's span, Busy/span its
+	// duty cycle.
+	Busy        time.Duration
+	First, Last time.Duration
+}
+
+// Active reports whether the node handled any message at all.
+func (n NodeProfile) Active() bool { return n.Handled > 0 || n.Msgs > 0 || n.Protocol > 0 }
+
+// ProfileSnapshot is an immutable copy of a Profile.
+type ProfileSnapshot struct {
+	Elapsed time.Duration
+	Nodes   []NodeProfile // graph order; the last entry is the driver
+	Rounds  []RoundMark   // termination-round timeline, in mark order
+}
+
+// Snapshot copies every shard. Call it after the evaluation has returned;
+// concurrent updates are safe (atomics) but the copy is then not a single
+// instant.
+func (p *Profile) Snapshot() ProfileSnapshot {
+	snap := ProfileSnapshot{Elapsed: time.Since(p.start)}
+	snap.Nodes = make([]NodeProfile, len(p.shards))
+	for i := range p.shards {
+		s := &p.shards[i]
+		first := s.firstNs.Load()
+		if first > 0 {
+			first-- // undo the +1 encoding of Handled
+		}
+		snap.Nodes[i] = NodeProfile{
+			ID:       i,
+			NodeMeta: p.meta[i],
+			Msgs:     s.msgs.Load(),
+			Protocol: s.protocol.Load(),
+			RowsOut:  s.rowsOut.Load(),
+			ReqRows:  s.reqRows.Load(),
+			Handled:  s.handled.Load(),
+			Derived:  s.derived.Load(),
+			Stored:   s.stored.Load(),
+			Dups:     s.dups.Load(),
+			Joins:    s.joins.Load(),
+			EDBScans: s.edbScans.Load(),
+			EDBRows:  s.edbRows.Load(),
+			Rounds:   s.rounds.Load(),
+			Busy:     time.Duration(s.busyNs.Load()),
+			First:    time.Duration(first),
+			Last:     time.Duration(s.lastNs.Load()),
+		}
+	}
+	p.mu.Lock()
+	snap.Rounds = append([]RoundMark(nil), p.timeline...)
+	p.mu.Unlock()
+	return snap
+}
+
+// Sites aggregates the snapshot by hosting site, in site order.
+func (ps ProfileSnapshot) Sites() []SiteProfile {
+	bySite := map[int]*SiteProfile{}
+	var order []int
+	for _, n := range ps.Nodes {
+		sp, ok := bySite[n.Site]
+		if !ok {
+			sp = &SiteProfile{Site: n.Site}
+			bySite[n.Site] = sp
+			order = append(order, n.Site)
+		}
+		sp.Nodes++
+		if n.Active() {
+			sp.ActiveNodes++
+		}
+		sp.Msgs += n.Msgs
+		sp.Protocol += n.Protocol
+		sp.RowsOut += n.RowsOut
+		sp.Joins += n.Joins
+		sp.Busy += n.Busy
+	}
+	out := make([]SiteProfile, 0, len(order))
+	for _, s := range sortedInts(order) {
+		out = append(out, *bySite[s])
+	}
+	return out
+}
+
+// SiteProfile aggregates the per-node counters of one site.
+type SiteProfile struct {
+	Site        int
+	Nodes       int
+	ActiveNodes int
+	Msgs        int64
+	Protocol    int64
+	RowsOut     int64
+	Joins       int64
+	Busy        time.Duration
+}
+
+func sortedInts(xs []int) []int {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}

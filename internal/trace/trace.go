@@ -84,8 +84,9 @@ type Snapshot struct {
 	Derived, Stored, Dups               int64
 	Joins, EDBScans, EDBTuples          int64
 	// Failure-handling counters: transport liveness traffic, recoveries,
-	// declared peer failures, query aborts, and silently dropped messages
-	// (previously invisible; see ISSUE 2's silent-loss footgun).
+	// declared peer failures, query aborts, and messages dropped at the
+	// transport or by closed mailboxes (drops are counted, never silent,
+	// so a lossy run is visible in its statistics).
 	Heartbeats, Reconnects, Replays   int64
 	PeerDowns                         int64
 	Aborts, DroppedSends, DroppedPuts int64
@@ -124,6 +125,15 @@ func (s *Stats) Snapshot() Snapshot {
 
 // Messages is the total count of basic messages (§3.1): relation requests,
 // tuple requests, tuples (single and batched), ends, and request-ends.
+//
+// Accounting convention for batches: a message is one transferable unit,
+// however many rows it carries. A TupleBatch of 50 rows adds 1 here (via
+// TupleBatches) and 50 to TupleRows; a packaged tuple request (footnote 2)
+// with 50 bindings adds 1 (via TupReqs) and 50 to TupReqRows. So Messages
+// measures traffic in channel/frame units — the quantity batching reduces —
+// while TupleRows + TupReqRows measure the information moved, which
+// batching must NOT change. Exporters keep the same split: messages_total
+// counts units, rows_total counts rows (see doc/OBSERVABILITY.md).
 func (sn Snapshot) Messages() int64 {
 	return sn.RelReqs + sn.TupReqs + sn.Tuples + sn.TupleBatches + sn.Ends + sn.ReqEnds
 }

@@ -41,7 +41,10 @@ type Config struct {
 	// reproduce schedules; 0 uses a fixed default seed.
 	JitterSeed int64
 	// Stats, when non-nil, receives transport counters (heartbeats sent,
-	// reconnects, peers declared down, dropped sends).
+	// reconnects, peers declared down, dropped sends). mpqd serves the
+	// same Stats as Prometheus text on -metrics (via
+	// internal/trace/export.WritePrometheus); doc/OBSERVABILITY.md maps
+	// each counter to its paper concept.
 	Stats *trace.Stats
 	// Logf, when non-nil, receives one line per notable failure event
 	// (peer down, reconnect, per-peer drop totals at shutdown).

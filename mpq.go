@@ -181,6 +181,8 @@ type config struct {
 	trace        io.Writer
 	deadline     time.Duration
 	cancel       <-chan struct{}
+	profile      *trace.Profile
+	events       *trace.EventLog
 }
 
 // Option adjusts one evaluation.
@@ -239,6 +241,19 @@ func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline 
 // from any goroutine.
 func WithCancel(ch <-chan struct{}) Option { return func(c *config) { c.cancel = ch } }
 
+// WithProfile collects per-node execution counters into p (messages, rows,
+// joins, and wall-time per rule/goal graph node, plus the termination-
+// round timeline). Create p with trace.NewProfile, evaluate, then render
+// p.Snapshot() with internal/trace/export.WriteReport — this is what
+// `mpq -profile` does. MessagePassing engine only.
+func WithProfile(p *trace.Profile) Option { return func(c *config) { c.profile = p } }
+
+// WithEventLog records a bounded structured event log into l (one event
+// per handled message and protocol round), exportable as Chrome
+// trace_event JSON for chrome://tracing / Perfetto — this is what
+// `mpq -trace-out` does. MessagePassing engine only.
+func WithEventLog(l *trace.EventLog) Option { return func(c *config) { c.events = l } }
+
 // Answer is a completed evaluation.
 type Answer struct {
 	// Engine records which method produced the answer.
@@ -265,7 +280,7 @@ func (s *System) Eval(opts ...Option) (*Answer, error) {
 		}
 		s.ensureWarm()
 		res, err := engine.Run(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
-			Deadline: cfg.deadline, Cancel: cfg.cancel})
+			Deadline: cfg.deadline, Cancel: cfg.cancel, Profile: cfg.profile, Events: cfg.events})
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +337,7 @@ func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (tr
 	}
 	s.ensureWarm()
 	res, err := engine.RunStream(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
-		Deadline: cfg.deadline, Cancel: cfg.cancel},
+		Deadline: cfg.deadline, Cancel: cfg.cancel, Profile: cfg.profile, Events: cfg.events},
 		func(t relation.Tuple) bool {
 			row := make([]string, len(t))
 			for i, sym := range t {

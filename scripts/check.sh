@@ -1,15 +1,24 @@
 #!/bin/sh
-# Tier-1 check: build, vet, and the full test suite under the race
+# Tier-1 check: build, vet, docs, and the full test suite under the race
 # detector. `make check` runs this. Pass -short through for a quick pass:
 #   ./scripts/check.sh -short
 # `./scripts/check.sh chaos` (or `make chaos`) runs the failure-handling
 # suite — fault injection, heartbeats, kills, deadlines, the chaos soak —
 # twice under the race detector, to shake out schedules that only hang or
 # race on the second run.
+# `./scripts/check.sh docs` (or `make docs`) runs only the documentation
+# gate: intra-repo markdown links must resolve, and `go vet` must be clean.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+# Docs gate: every relative markdown link in the repo's own documentation
+# must point at a real file. SNIPPETS/PAPERS/ISSUE quote external material
+# whose links are not ours to keep alive, so they are not listed.
+go run ./cmd/mdlinkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md doc/*.md
+if [ "${1:-}" = "docs" ]; then
+	exit 0
+fi
 if [ "${1:-}" = "chaos" ]; then
 	shift
 	go test -race -count=2 \
