@@ -1,0 +1,173 @@
+// Command apisnap snapshots the exported API of the public mpq package
+// (import path "repro") as a sorted, one-declaration-per-line text dump —
+// functions, methods, types with their exported fields, constants, and
+// variables, each with its full type signature.
+//
+// The checked-in golden lives at api/mpq.txt. scripts/check.sh runs
+//
+//	apisnap -check api/mpq.txt
+//
+// as an API-compatibility gate: a refactor that changes the public surface
+// fails the gate until the golden is deliberately regenerated with
+//
+//	go run ./cmd/apisnap > api/mpq.txt
+//
+// making every API change an explicit, reviewable diff. apisnap is
+// stdlib-only (go/types with the source importer) and must run from the
+// repository root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	pkgPath := flag.String("pkg", "repro", "import path of the package to snapshot")
+	check := flag.String("check", "", "compare the snapshot against this golden file instead of printing; exit 1 on any difference")
+	flag.Parse()
+
+	lines, err := snapshot(*pkgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisnap:", err)
+		os.Exit(1)
+	}
+	if *check == "" {
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return
+	}
+	want, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisnap:", err)
+		os.Exit(1)
+	}
+	if diff := compare(splitLines(string(want)), lines); len(diff) > 0 {
+		fmt.Fprintf(os.Stderr, "apisnap: exported API differs from %s:\n", *check)
+		for _, d := range diff {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		fmt.Fprintf(os.Stderr, "apisnap: if the change is intended, regenerate with: go run ./cmd/apisnap > %s\n", *check)
+		os.Exit(1)
+	}
+}
+
+// snapshot type-checks the package from source and renders every exported
+// declaration as one line.
+func snapshot(pkgPath string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkg, err := importer.ForCompiler(fset, "source", nil).Import(pkgPath)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", pkgPath, err)
+	}
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			lines = append(lines, "func "+o.Name()+strings.TrimPrefix(types.TypeString(o.Type(), qual), "func"))
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s", o.Name(), types.TypeString(o.Type(), qual)))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s", o.Name(), types.TypeString(o.Type(), qual)))
+		case *types.TypeName:
+			lines = append(lines, typeLines(o, qual)...)
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// typeLines renders one exported named type: its kind, exported struct
+// fields or interface methods, and every exported method in its pointer
+// method set.
+func typeLines(o *types.TypeName, qual types.Qualifier) []string {
+	var lines []string
+	name := o.Name()
+	if o.IsAlias() {
+		return []string{fmt.Sprintf("type %s = %s", name, types.TypeString(o.Type(), qual))}
+	}
+	named := o.Type().(*types.Named)
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		lines = append(lines, fmt.Sprintf("type %s struct", name))
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Exported() {
+				lines = append(lines, fmt.Sprintf("field %s.%s %s", name, f.Name(), types.TypeString(f.Type(), qual)))
+			}
+		}
+	case *types.Interface:
+		lines = append(lines, fmt.Sprintf("type %s interface", name))
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if m.Exported() {
+				lines = append(lines, fmt.Sprintf("method %s.%s%s", name, m.Name(),
+					strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+			}
+		}
+	default:
+		lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(u, qual)))
+	}
+	// The pointer method set covers value receivers too.
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		recv := name
+		if _, ptr := m.Type().(*types.Signature).Recv().Type().(*types.Pointer); ptr {
+			recv = "*" + name
+		}
+		lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, m.Name(),
+			strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+	}
+	return lines
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimRight(l, "\r"); l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// compare reports golden-vs-current differences as +/- lines.
+func compare(want, got []string) []string {
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	var diff []string
+	for _, l := range want {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l) // in the golden, gone from the API
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l) // new in the API, absent from the golden
+		}
+	}
+	return diff
+}

@@ -1,5 +1,5 @@
 // Command bench runs the experiment suite of DESIGN.md (E1–E12 plus the
-// A1–A5 ablations): for every figure and checkable claim of the paper it
+// A1–A6 ablations): for every figure and checkable claim of the paper it
 // generates workloads, runs the message-passing engine against the
 // baselines, and prints the tables recorded in EXPERIMENTS.md.
 //
@@ -9,17 +9,21 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/adorn"
 	"repro/internal/ast"
 	"repro/internal/bottomup"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/rgg"
+	"repro/internal/serve"
 	"repro/internal/symtab"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -55,12 +60,14 @@ var experiments = map[string]func(quick bool){
 	"A3":  a3Substrate,
 	"A4":  a4Failure,
 	"A5":  a5Observability,
+	"A6":  a6Prepared,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
 // "after" half of BENCH_1.json), A4 its failure-handling overhead
-// record (BENCH_2.json), and A5 its observability overhead record
-// (BENCH_3.json) to the named file.
+// record (BENCH_2.json), A5 its observability overhead record
+// (BENCH_3.json), and A6 its prepared-query serving record
+// (BENCH_4.json) to the named file.
 var jsonOut string
 
 func main() {
@@ -1295,6 +1302,256 @@ func a5Observability(quick bool) {
 				"scheduler-bound microqueries (~120us, a few hundred messages) are " +
 				"close to the worst case for per-message taxes; the relative cost " +
 				"shrinks as queries grow join- or data-bound.",
+		}
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}
+
+// a6ChainSource renders the transitive-closure chain workload as Datalog
+// source (the mpq public surface, unlike the other experiments' direct
+// *ast.Program plumbing, is what the serving layer actually exposes). The
+// query starts from vertex `start`: near the chain's tail it is the
+// point-query shape a server actually fields — a small answer set whose
+// latency is dominated by per-query setup, exactly what preparation
+// amortizes.
+func a6ChainSource(n, start int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(n%d, n%d).\n", i, i+1)
+	}
+	b.WriteString("path(X, Y) :- edge(X, Y).\n")
+	b.WriteString("path(X, Y) :- path(X, U), edge(U, Y).\n")
+	fmt.Fprintf(&b, "goal(Y) :- path(n%d, Y).\n", start)
+	return b.String()
+}
+
+// a6Prepared measures the prepared-query serving layer: how much latency
+// compile-once/bind-many removes versus rebuilding the rule/goal graph per
+// evaluation, and what a long-lived mpqd -serve instance sustains under
+// concurrent clients. With -json the measurements are written out as
+// BENCH_4.json.
+func a6Prepared(quick bool) {
+	header("A6", "prepared-query serving (compile-once/bind-many plans, plan cache, mpqd -serve)",
+		"a goal node's d argument positions receive their needed values at runtime via relation request (§3.1), so one compiled graph serves every constant")
+
+	n, reps := 64, 6
+	clients, perClient := 8, 100
+	if quick {
+		n, reps = 16, 2
+		clients, perClient = 8, 20
+	}
+	base := n - 8 // point queries from near the tail: 5-8 answers each
+	src := a6ChainSource(n, base)
+
+	type microResult struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	bench := func(f func() error) microResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return microResult{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+	}
+
+	// Latency: the same query evaluated three ways on one System. Every
+	// path must produce the full n-tuple reachable set.
+	sys := mpq.MustLoad(src)
+	pq, err := sys.Prepare(fmt.Sprintf("?- path(n%d, Y).", base))
+	if err != nil {
+		panic(err)
+	}
+	// The rebinding paths rotate the start vertex over four tail nodes —
+	// genuinely different constants per call (hits must rebind, not
+	// replay) with near-identical answer-set sizes, so the comparison
+	// against the fixed fresh query stays fair.
+	checkedAt := func(start int, ans *mpq.Answer, err error) error {
+		if err != nil {
+			return err
+		}
+		if len(ans.Tuples) != n-start {
+			return fmt.Errorf("path(n%d): got %d answers, want %d", start, len(ans.Tuples), n-start)
+		}
+		return nil
+	}
+	pi, qi := 0, 0
+	modes := []struct {
+		name string
+		f    func() error
+	}{
+		// Fresh: rgg.Build + engine construction every call (the only
+		// pre-change path).
+		{"fresh Eval", func() error {
+			ans, err := sys.Eval()
+			return checkedAt(base, ans, err)
+		}},
+		// Prepared: graph, indexes, and pooled scratch all reused; only
+		// the constants bind per call.
+		{"PreparedQuery.Eval", func() error {
+			pi++
+			s := base + pi%4
+			ans, err := pq.Eval(nil, fmt.Sprintf("n%d", s))
+			return checkedAt(s, ans, err)
+		}},
+		// Query: the plan-cache path a server takes — parse, canonicalize,
+		// cache hit, bind.
+		{"Query (cache hit)", func() error {
+			qi++
+			s := base + qi%4
+			ans, err := sys.Query(nil, fmt.Sprintf("?- path(n%d, Y).", s))
+			return checkedAt(s, ans, err)
+		}},
+	}
+	best := map[string]microResult{}
+	for r := 0; r < reps; r++ {
+		for _, m := range modes {
+			got := bench(m.f)
+			if cur, ok := best[m.name]; !ok || got.NsPerOp < cur.NsPerOp {
+				best[m.name] = got
+			}
+		}
+	}
+	fresh := best["fresh Eval"]
+	row("path", "ns/op", "B/op", "allocs/op", "vs fresh")
+	row("---", "---", "---", "---", "---")
+	for _, m := range modes {
+		b := best[m.name]
+		row(m.name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp,
+			fmt.Sprintf("%.2fx", fresh.NsPerOp/b.NsPerOp))
+	}
+
+	// Throughput: a real serve.Server on loopback under concurrent
+	// line-protocol clients, constants rotating per query.
+	srv := serve.New(mpq.MustLoad(src), serve.Config{MaxConcurrent: runtime.NumCPU()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for q := 0; q < perClient; q++ {
+				fmt.Fprintf(conn, "?- path(n%d, Y).\n", (c+q)%n)
+				done := false
+				for !done && sc.Scan() {
+					switch line := sc.Text(); {
+					case strings.HasPrefix(line, ". "):
+						done = true
+					case strings.HasPrefix(line, "E "):
+						errCh <- fmt.Errorf("server error: %s", line)
+						return
+					}
+				}
+				if !done {
+					errCh <- fmt.Errorf("connection closed mid-response: %v", sc.Err())
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	srv.Close()
+	sn := srv.Stats().Snapshot()
+	total := clients * perClient
+	qps := float64(total) / elapsed.Seconds()
+	fmt.Println()
+	row("server", "clients", "queries", "elapsed", "queries/s", "plan hits", "plan misses")
+	row("---", "---", "---", "---", "---", "---", "---")
+	row(fmt.Sprintf("mpqd -serve (max-concurrent %d)", runtime.NumCPU()),
+		clients, total, elapsed, qps, sn.PlanHits, sn.PlanMisses)
+
+	if jsonOut != "" {
+		record := struct {
+			Record      string                 `json:"record"`
+			Description string                 `json:"description"`
+			Machine     map[string]any         `json:"machine"`
+			Units       map[string]string      `json:"units"`
+			Workload    string                 `json:"workload"`
+			Latency     map[string]microResult `json:"latency"`
+			SpeedupX    float64                `json:"prepared_speedup_x"`
+			Server      map[string]any         `json:"server"`
+			Commentary  string                 `json:"commentary"`
+		}{
+			Record: "BENCH_4",
+			Description: "Prepared-query serving: latency of one query evaluated fresh " +
+				"(rgg.Build per call), through PreparedQuery.Eval (compile-once/" +
+				"bind-many), and through System.Query's plan cache with rotating " +
+				"constants; plus sustained throughput of a serve.Server (the mpqd " +
+				"-serve engine) on loopback under concurrent line-protocol " +
+				"clients. Best of 6 interleaved benchmark runs per mode. " +
+				"Reproduce with `go run ./cmd/bench -e A6 -json BENCH_4.json`.",
+			Machine: map[string]any{
+				"cpu":    fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+				"go":     runtime.Version(),
+				"goos":   runtime.GOOS,
+				"goarch": runtime.GOARCH,
+			},
+			Units:    map[string]string{"time": "ns/op", "bytes": "B/op", "allocs": "allocs/op"},
+			Workload: fmt.Sprintf("point reachability queries (5-8 answers) over an %d-edge transitive-closure chain", n),
+			Latency: map[string]microResult{
+				"fresh_eval":      best["fresh Eval"],
+				"prepared_eval":   best["PreparedQuery.Eval"],
+				"query_cache_hit": best["Query (cache hit)"],
+			},
+			SpeedupX: fresh.NsPerOp / best["PreparedQuery.Eval"].NsPerOp,
+			Server: map[string]any{
+				"clients":         clients,
+				"queries":         total,
+				"max_concurrent":  runtime.NumCPU(),
+				"elapsed_sec":     elapsed.Seconds(),
+				"queries_per_sec": qps,
+				"plan_hits":       sn.PlanHits,
+				"plan_misses":     sn.PlanMisses,
+			},
+			Commentary: "The prepared path removes per-evaluation graph construction " +
+				"(parse, adornment, SIP ordering, SCC analysis), index warming, and " +
+				"the allocation of every node's mailbox, temporaries, and maps — " +
+				"the pooled scratch is reset in place, so steady-state allocations " +
+				"drop to the answer tuples plus per-run bookkeeping. Query adds " +
+				"back parsing and shape canonicalization (the cache key), so it " +
+				"sits between the two; its constants rotate, proving hits rebind " +
+				"rather than replay. The workload is the serving shape — small " +
+				"point queries, where per-query setup is the latency floor; on " +
+				"whole-closure queries evaluation dominates and the relative win " +
+				"shrinks. Server throughput is scheduler-bound on loopback: each " +
+				"query is a full message-passing evaluation, so queries/s scales " +
+				"with evaluation cost, not connection count.",
 		}
 		buf, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {

@@ -25,12 +25,19 @@
 // -data loads tab- or comma-separated rows as extra facts for a predicate.
 // With -i, mpq reads clauses interactively after loading the program (if
 // any); each `?- body.` query evaluates immediately.
+//
+// With -connect ADDR, mpq is instead a client for a long-lived
+// `mpqd -serve` instance: each argument (or stdin line) is sent as one
+// query and the streamed answers are printed as in local evaluation:
+//
+//	mpq -connect :7700 '?- path(a, Y).'
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 
@@ -60,6 +67,7 @@ func main() {
 	traceCap := flag.Int("trace-events", 0, "event-log ring capacity for -trace-out (0 = default 65536; oldest events drop first)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock time (message-passing engine; 0 = none)")
 	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
+	connect := flag.String("connect", "", "client mode: send queries to an `mpqd -serve` address instead of evaluating locally")
 	var data dataFlags
 	flag.Var(&data, "data", "load pred=file.csv facts (repeatable)")
 	flag.Usage = func() {
@@ -68,6 +76,12 @@ func main() {
 	}
 	flag.Parse()
 
+	if *connect != "" {
+		if err := runClient(*connect, flag.Args(), *stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	eng, err := mpq.ParseEngine(*engineName)
 	if err != nil {
 		fatal(err)
@@ -131,6 +145,74 @@ func main() {
 	if err := obs.finish(); err != nil {
 		fatal(err)
 	}
+}
+
+// runClient is `mpq -connect ADDR`: it sends each argument as one query to
+// an `mpqd -serve` instance over the line protocol (doc/PROTOCOL.md) and
+// renders the streamed answers exactly like a local evaluation. With no
+// arguments, queries are read from stdin, one per line.
+func runClient(addr string, queries []string, stats bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	resp := bufio.NewScanner(conn)
+	resp.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	ask := func(q string) error {
+		if _, err := fmt.Fprintf(conn, "%s\n", strings.ReplaceAll(q, "\n", " ")); err != nil {
+			return err
+		}
+		n := 0
+		for resp.Scan() {
+			line := resp.Text()
+			switch {
+			case line == "T":
+				fmt.Println("yes")
+				n++
+			case strings.HasPrefix(line, "T "):
+				fmt.Println(strings.TrimPrefix(line, "T "))
+				n++
+			case strings.HasPrefix(line, ". "):
+				if n == 0 {
+					fmt.Println("no")
+				}
+				if stats {
+					fmt.Fprintf(os.Stderr, "%s\n", strings.TrimPrefix(line, ". "))
+				}
+				return nil
+			case strings.HasPrefix(line, "E "):
+				return fmt.Errorf("server: %s", strings.TrimPrefix(line, "E "))
+			default:
+				return fmt.Errorf("malformed server line %q", line)
+			}
+		}
+		if err := resp.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("connection closed mid-response")
+	}
+
+	if len(queries) == 0 {
+		in := bufio.NewScanner(os.Stdin)
+		for in.Scan() {
+			q := strings.TrimSpace(in.Text())
+			if q == "" {
+				continue
+			}
+			if err := ask(q); err != nil {
+				return err
+			}
+		}
+		return in.Err()
+	}
+	for _, q := range queries {
+		if err := ask(q); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // observer holds the opt-in observability sinks (-profile, -trace-out) and

@@ -15,6 +15,18 @@
 //
 // Recursive strong components are always co-located (see engine.Partition).
 //
+// With -serve ADDR, mpqd instead runs as a long-lived single-site query
+// server: it loads the program once and answers `?- body.` queries sent
+// over a newline-delimited protocol (see internal/serve and
+// doc/PROTOCOL.md), reusing compiled plans across queries through the plan
+// cache and admitting at most -max-concurrent evaluations at a time
+// (excess queries queue, bounded by -deadline). The diagnostics mux also
+// accepts queries on POST /query. `mpq -connect ADDR` is the matching
+// client:
+//
+//	mpqd -program rules.dl -serve :7700 -max-concurrent 8 &
+//	mpq -connect :7700 '?- path(a, Y).'
+//
 // Observability (see doc/OBSERVABILITY.md): -metrics ADDR serves live
 // Prometheus counters on /metrics — engine message/row/round counters plus
 // the transport failure counters (heartbeats, reconnects, replays, peer
@@ -25,6 +37,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -32,6 +45,7 @@ import (
 
 	"repro"
 	"repro/internal/engine"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/trace/export"
 	"repro/internal/transport"
@@ -52,11 +66,20 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof/ on this address (e.g. :9090)")
 	profile := flag.Bool("profile", false, "print a per-node profile report for this site's partition after the query")
 	profileTop := flag.Int("profile-top", 5, "how many nodes each -profile top-K table shows")
+	serveAddr := flag.String("serve", "", "single-site serving mode: accept queries on this address over the line protocol (see doc/PROTOCOL.md) instead of evaluating once")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "-serve: how many queries evaluate at once (excess queries queue)")
+	batch := flag.Bool("batch", false, "-serve: evaluate with footnote-2 request batching")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		runServe(*serveAddr, *programPath, *strategy, *batch, *maxConcurrent, *deadline, *metricsAddr)
+		return
+	}
 
 	addrs := strings.Split(*addrList, ",")
 	if *programPath == "" || len(addrs) < 2 || *site < 0 || *site >= len(addrs) {
 		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -site N -addrs a0,a1,... (N < number of addresses)")
+		fmt.Fprintln(os.Stderr, "   or: mpqd -program q.dl -serve ADDR [-max-concurrent N] [-deadline D] [-metrics ADDR]")
 		os.Exit(2)
 	}
 
@@ -175,6 +198,49 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "%s\n", res.Stats)
+	}
+}
+
+// runServe is the long-lived single-site mode: load the program once,
+// answer queries over the line protocol until killed, reusing compiled
+// plans across queries and connections. The diagnostics mux additionally
+// gains POST /query.
+func runServe(addr, programPath, strategy string, batch bool, maxConcurrent int, deadline time.Duration, metricsAddr string) {
+	if programPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -serve ADDR [-max-concurrent N] [-deadline D] [-metrics ADDR]")
+		os.Exit(2)
+	}
+	sys, err := mpq.LoadFile(programPath)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(sys, serve.Config{
+		Strategy:      strategy,
+		Batch:         batch,
+		MaxConcurrent: maxConcurrent,
+		Timeout:       deadline,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mpqd: "+format+"\n", args...)
+		},
+	})
+	if metricsAddr != "" {
+		mux := export.DiagnosticsMux(srv.Stats().Snapshot)
+		mux.Handle("/query", srv.Handler())
+		go func() {
+			fmt.Fprintf(os.Stderr, "mpqd: diagnostics on http://%s/metrics, queries on POST /query\n", metricsAddr)
+			hs := &http.Server{Addr: metricsAddr, Handler: mux}
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "mpqd: metrics server: %v\n", err)
+			}
+		}()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mpqd: serving %s on %s (max-concurrent %d)\n", programPath, ln.Addr(), maxConcurrent)
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
 	}
 }
 

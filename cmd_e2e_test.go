@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCommandsEndToEnd builds the actual binaries and drives them the way a
@@ -108,5 +109,41 @@ func TestCommandsEndToEnd(t *testing.T) {
 			t.Errorf("mpqd answers wrong:\n%s", out)
 		}
 		site1.Wait()
+	})
+
+	t.Run("serve", func(t *testing.T) {
+		servProg := filepath.Join(dir, "serve.dl")
+		if err := os.WriteFile(servProg, []byte(`
+			edge(a, b). edge(b, c). edge(x, y).
+			path(X, Y) :- edge(X, Y).
+			path(X, Y) :- path(X, U), edge(U, Y).
+			goal(Y) :- path(a, Y).
+		`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		addr := "127.0.0.1:7913"
+		daemon := exec.Command(filepath.Join(bin, "mpqd"), "-program", servProg, "-serve", addr)
+		if err := daemon.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer daemon.Process.Kill()
+
+		// The daemon needs a moment to listen; retry until it accepts.
+		var out []byte
+		var err error
+		for i := 0; i < 50; i++ {
+			out, err = exec.Command(filepath.Join(bin, "mpq"),
+				"-connect", addr, "?- path(a, Y).", "?- path(x, Y).").CombinedOutput()
+			if err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("mpq -connect: %v\n%s", err, out)
+		}
+		if got := string(out); got != "b\nc\ny\n" {
+			t.Errorf("mpq -connect answers = %q, want \"b\\nc\\ny\\n\"", got)
+		}
 	})
 }

@@ -93,6 +93,14 @@ type Options struct {
 	// Trace it adds per-message work (a timestamped, mutex-guarded
 	// append), so keep it off benchmark paths.
 	Events *trace.EventLog
+	// Bind supplies runtime values for the root goal's "d" (dynamically
+	// bound) argument positions, in position order: the driver seeds the
+	// evaluation with one tuple request carrying them, between the initial
+	// relation request and the request-end. This is how a prepared query
+	// re-drives a compiled graph with new constants (see rgg.Options.RootAd).
+	// Its length must equal the root's number of "d" positions — zero for
+	// ordinary all-free roots.
+	Bind []symtab.Sym
 }
 
 // Run evaluates the graph's query against the database with every node
@@ -108,6 +116,7 @@ func Run(g *rgg.Graph, db *edb.Database, opts Options) (*Result, error) {
 // partial Result returned. A nil yield collects answers silently.
 func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation.Tuple) bool) (*Result, error) {
 	n := len(g.Nodes)
+	db.WarmIndexesFor(edbIndexNeeds(g))
 	local := transport.NewLocal(n + 1) // +1: the driver's mailbox
 	rt, err := newRunner(g, db, local, opts, nil, 0)
 	if err != nil {
@@ -152,6 +161,7 @@ func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *tran
 			}
 		}
 	}
+	db.WarmIndexesFor(edbIndexNeeds(g))
 	rt, err := newRunner(g, db, net, opts, hosts, site)
 	if err != nil {
 		return nil, err
@@ -214,6 +224,7 @@ type runner struct {
 	net      transport.Network
 	stats    *trace.Stats
 	driver   int // driver's node id: len(g.Nodes)
+	bind     []symtab.Sym
 	batch    bool
 	edbDelay time.Duration
 	traceW   io.Writer
@@ -244,9 +255,11 @@ func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Optio
 	if stats == nil {
 		stats = &trace.Stats{}
 	}
-	db.WarmIndexesFor(edbIndexNeeds(g))
+	if w := len(dynamicPositions(g.Nodes[g.Root].Ad)); len(opts.Bind) != w {
+		return nil, fmt.Errorf("engine: Bind has %d values, root has %d dynamic positions", len(opts.Bind), w)
+	}
 	rt := &runner{g: g, db: db, net: net, stats: stats, driver: len(g.Nodes),
-		batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace,
+		bind: opts.Bind, batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace,
 		prof: opts.Profile, events: opts.Events,
 		hosts: hosts, site: site}
 	if rt.prof != nil || rt.events != nil {
@@ -296,6 +309,12 @@ func (rt *runner) initObservers() {
 	setMeta(rt.driver, trace.NodeMeta{Label: "driver", Kind: "driver", Site: site(rt.driver)})
 }
 
+// IndexNeeds exposes edbIndexNeeds for callers that coordinate warming
+// themselves: index construction mutates the shared base relations, so a
+// caller running evaluations concurrently (mpq.System) must warm every
+// index its graphs will probe under its own lock before the first run.
+func IndexNeeds(g *rgg.Graph) []edb.IndexNeed { return edbIndexNeeds(g) }
+
 // edbIndexNeeds lists the composite indexes evaluation will probe on the
 // base relations: each EDB leaf's selection binds its constant argument
 // positions plus its "d" positions, and relation.Select probes the
@@ -331,7 +350,12 @@ func edbIndexNeeds(g *rgg.Graph) []edb.IndexNeed {
 }
 
 func (rt *runner) startProc(id int, box *transport.Mailbox) {
-	p := newProc(rt, id, box)
+	rt.spawn(newProc(rt, id, box))
+}
+
+// spawn runs an already-constructed (or pool-recycled, see Plan) node
+// process on its own goroutine, tracked by the runner's WaitGroup.
+func (rt *runner) spawn(p *proc) {
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
@@ -342,7 +366,7 @@ func (rt *runner) startProc(id int, box *transport.Mailbox) {
 		defer func() {
 			if r := recover(); r != nil {
 				rt.abort(msg.AbortPanic, fmt.Sprintf("node %d (%s): %v\n%s",
-					id, rt.g.Nodes[id].Adorned(), r, debug.Stack()))
+					p.id, rt.g.Nodes[p.id].Adorned(), r, debug.Stack()))
 			}
 		}()
 		p.loop()
@@ -358,6 +382,12 @@ func (rt *runner) drive(box *transport.Mailbox) (*relation.Relation, error) {
 
 func (rt *runner) driveStream(box *transport.Mailbox, yield func(relation.Tuple) bool) (*relation.Relation, error) {
 	rt.send(msg.Message{Kind: msg.RelReq, From: rt.driver, To: rt.g.Root})
+	if len(rt.bind) > 0 {
+		// Seed the root's "d" positions with the caller's runtime constants
+		// (Options.Bind): one tuple request, exactly as any customer node
+		// would issue — so the graph below needs no special casing.
+		rt.send(msg.Message{Kind: msg.TupReq, From: rt.driver, To: rt.g.Root, Vals: rt.bind, Count: 1})
+	}
 	rt.send(msg.Message{Kind: msg.ReqEnd, From: rt.driver, To: rt.g.Root})
 
 	arity := len(rt.g.Nodes[rt.g.Root].Atom.Args)

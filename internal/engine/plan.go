@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/edb"
+	"repro/internal/relation"
+	"repro/internal/rgg"
+	"repro/internal/transport"
+)
+
+// Plan is a compiled, reusable single-site evaluation: one rule/goal graph
+// bound to one database, with EDB indexes warmed once at construction and
+// the per-run scratch (node processes, their temporary relations, and their
+// mailboxes) pooled between runs. Repeated Run/RunStream calls therefore
+// skip graph-shaped allocation and index warming entirely — the
+// compile-once/bind-many half of the prepared-query design: vary the
+// runtime constants via Options.Bind (seeding the root's "d" positions)
+// while the graph stays fixed.
+//
+// A Plan is safe for concurrent use: simultaneous runs draw distinct
+// scratch sets from the pool (allocating fresh ones when it is empty), and
+// the database is only read after the one-time warm. The database must not
+// be mutated while runs are in flight, and Deadline/Cancel/PeerDown options
+// behave exactly as in Run.
+type Plan struct {
+	g    *rgg.Graph
+	db   *edb.Database
+	pool sync.Pool // of *scratch
+}
+
+// scratch is one run's worth of reusable per-node state: the in-process
+// network and the node processes (whose goal/rule temporaries keep their
+// map and relation capacity across runs).
+type scratch struct {
+	local *transport.Local
+	procs []*proc
+}
+
+// NewPlan compiles the graph/database pair into a reusable plan, warming
+// the EDB indexes the graph's adornments will probe (done here once instead
+// of per run).
+func NewPlan(g *rgg.Graph, db *edb.Database) *Plan {
+	db.WarmIndexesFor(edbIndexNeeds(g))
+	return &Plan{g: g, db: db}
+}
+
+// Graph returns the compiled rule/goal graph (read-only).
+func (pl *Plan) Graph() *rgg.Graph { return pl.g }
+
+// Run evaluates the plan once. Equivalent to Run(pl.Graph(), db, opts) but
+// without rebuilding per-node state.
+func (pl *Plan) Run(opts Options) (*Result, error) {
+	return pl.RunStream(opts, nil)
+}
+
+// RunStream is Run with answer streaming, mirroring the package-level
+// RunStream contract (nil yield collects silently; yield returning false
+// cancels early).
+func (pl *Plan) RunStream(opts Options, yield func(relation.Tuple) bool) (*Result, error) {
+	s, reused := pl.get()
+	rt, err := newRunner(pl.g, pl.db, s.local, opts, nil, 0)
+	if err != nil {
+		pl.pool.Put(s)
+		return nil, err
+	}
+	if reused {
+		s.local.Boxes[rt.driver].Reset()
+		for _, p := range s.procs {
+			p.reset(rt)
+		}
+	} else {
+		for id := range pl.g.Nodes {
+			s.procs[id] = newProc(rt, id, s.local.Boxes[id])
+		}
+	}
+	stop := rt.startWatch(opts)
+	for _, p := range s.procs {
+		rt.spawn(p)
+	}
+	answers, runErr := rt.driveStream(s.local.Boxes[rt.driver], yield)
+	stop()
+	s.local.Close() // unblocks any process still waiting after Shutdown races
+	rt.wg.Wait()
+	// Harvest the dropped-Put count before the scratch can be recycled:
+	// Mailbox.Reset zeroes the counter, so each run observes only its own
+	// drops.
+	rt.stats.DroppedPuts(s.local.Dropped())
+	pl.pool.Put(s)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{Answers: answers, Stats: rt.stats.Snapshot()}, nil
+}
+
+// get draws a scratch set from the pool, reporting whether it is a recycled
+// one (whose procs must be reset) or a fresh shell (whose procs the caller
+// constructs against its runner).
+func (pl *Plan) get() (s *scratch, reused bool) {
+	if v := pl.pool.Get(); v != nil {
+		return v.(*scratch), true
+	}
+	n := len(pl.g.Nodes)
+	return &scratch{local: transport.NewLocal(n + 1), procs: make([]*proc, n)}, false
+}
+
+// ---- per-run reset --------------------------------------------------------
+//
+// The reset methods below return a node process to its just-constructed
+// state while keeping every allocation whose size tracks the data, not the
+// run: temporary relations keep row/index capacity, maps are cleared in
+// place, and mailbox backing arrays survive. Only run-scoped wiring — the
+// runner pointer and its profile shard — is rebound. They may only be
+// called once the previous run's WaitGroup has drained (no goroutine still
+// owns the state).
+
+func (p *proc) reset(rt *runner) {
+	p.rt = rt
+	p.shard = nil
+	if rt.prof != nil {
+		p.shard = rt.prof.Shard(p.id)
+	}
+	for _, f := range p.feeds {
+		f.sent, f.acked, f.allEnd = 0, 0, false
+	}
+	p.idleness, p.round, p.waitingFor = 0, 0, 0
+	p.anyNeg, p.inRound, p.confirmed = false, false, false
+	for _, b := range p.pending {
+		b.vals, b.count = nil, 0
+	}
+	for _, b := range p.pendTups {
+		b.vals, b.count = nil, 0
+	}
+	p.box.Reset()
+	if p.goal != nil {
+		p.goal.reset()
+	} else {
+		p.rule.reset()
+	}
+}
+
+func (g *goalState) reset() {
+	for _, cs := range g.customers {
+		cs.registered = false
+		clear(cs.reqs)
+		cs.reqCount = 0
+		cs.reqEnd = false
+	}
+	g.relReqForwarded = false
+	clear(g.reqSeen)
+	g.answers.Reset()
+	clear(g.byDKey)
+	g.lastWatermark = 0
+	g.allSent = false
+	// isEDB wiring (edbRel, consts, varPoses) is graph+db-scoped, not
+	// run-scoped: a Plan binds exactly one database, so it stays.
+}
+
+func (r *ruleState) reset() {
+	r.hb.Reset()
+	clear(r.sentHeads)
+	for _, s := range r.subs {
+		s.rel.Reset()
+		clear(s.sentReqs)
+	}
+	r.relReqReceived = false
+	r.parentReqEnd = false
+	r.headReqCount = 0
+	r.lastWatermark = 0
+	r.allSent = false
+}

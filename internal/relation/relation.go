@@ -279,6 +279,21 @@ func (r *Relation) Insert(t Tuple) bool {
 	return true
 }
 
+// Reset empties the relation while keeping its allocations: the row and
+// hash slices, the open-addressed dedup table, the current arena chunk,
+// and every built index (cleared, then maintained incrementally by later
+// inserts) all retain their capacity. Repeated evaluations on one prepared
+// plan reset their temporary relations instead of reallocating them.
+func (r *Relation) Reset() {
+	r.rows = r.rows[:0]
+	r.hashes = r.hashes[:0]
+	r.chunk = r.chunk[:0]
+	clear(r.slots)
+	for _, ix := range r.indexes {
+		clear(ix.m)
+	}
+}
+
 // Contains reports membership. It never allocates.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {

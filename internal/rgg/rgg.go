@@ -242,6 +242,15 @@ type Options struct {
 	// MaxNodes guards against pathological blowup (the graph is always
 	// finite by Theorem 2.1, but can be large). Defaults to 100000.
 	MaxNodes int
+	// RootAd, when non-nil, adorns the root goal node instead of the
+	// default all-free adornment. Prepared queries use it to mark the
+	// entry goal's parameter positions as class "d": the graph is then
+	// compiled once for the query *shape*, and each evaluation seeds the
+	// parameters through the driver's initial tuple request (the paper's
+	// own runtime binding channel) instead of baking constants in as "c"
+	// positions. Only Dynamic and Free classes are meaningful at the root;
+	// its length must equal the query arity.
+	RootAd adorn.Adornment
 }
 
 type builder struct {
@@ -291,14 +300,29 @@ func Build(prog *ast.Program, opts Options) (*Graph, error) {
 		}
 	}
 
-	// Root goal node: goal(V1,...,Vk) with every argument free.
+	// Root goal node: goal(V1,...,Vk) with every argument free, unless the
+	// caller supplied a root adornment (prepared queries mark parameter
+	// positions "d").
 	rootAtom := ast.Atom{Pred: ast.GoalPred}
 	for i := 0; i < arity; i++ {
 		rootAtom.Args = append(rootAtom.Args, ast.V(fmt.Sprintf("_Q%d", i+1)))
 	}
-	rootAd := make(adorn.Adornment, arity)
-	for i := range rootAd {
-		rootAd[i] = adorn.Free
+	var rootAd adorn.Adornment
+	if opts.RootAd != nil {
+		if len(opts.RootAd) != arity {
+			return nil, fmt.Errorf("rgg: RootAd has %d classes, query arity is %d", len(opts.RootAd), arity)
+		}
+		for _, c := range opts.RootAd {
+			if c != adorn.Free && c != adorn.Dynamic {
+				return nil, fmt.Errorf("rgg: RootAd may only use classes d and f, got %q", string(c))
+			}
+		}
+		rootAd = opts.RootAd.Clone()
+	} else {
+		rootAd = make(adorn.Adornment, arity)
+		for i := range rootAd {
+			rootAd[i] = adorn.Free
+		}
 	}
 	root, err := b.expand(rootAtom, rootAd, NoNode)
 	if err != nil {

@@ -1,0 +1,285 @@
+// Package serve is mpqd's long-lived single-site serving mode: a Server
+// owns one loaded System and answers many queries over its lifetime,
+// amortizing compilation through the System's plan cache (every query goes
+// through QueryPrepared, so repeated query shapes reuse their rule/goal
+// graph and pooled engine scratch — see doc/PROTOCOL.md, "Plan reuse").
+//
+// Queries arrive over a newline-delimited TCP protocol and over POST
+// /query on the diagnostics mux. Admission is a counting semaphore:
+// MaxConcurrent queries evaluate at once, the rest queue; each query's
+// deadline covers its time in the queue plus its evaluation, so overload
+// degrades into fast deadline errors instead of unbounded latency.
+//
+// # Line protocol
+//
+// The client sends one query per line, in the program's own syntax:
+//
+//	?- path(a, Y).
+//
+// The server streams the response for each query, in order:
+//
+//	T <v1>\t<v2>...    one line per answer tuple, in derivation order
+//	                   (a bare "T" is the empty tuple of a ground query)
+//	. <n> plan=hit|miss  terminal: n answers; was the plan reused?
+//	E <message>          terminal instead of ".": the query failed
+//
+// Queries on one connection run sequentially; concurrency comes from
+// concurrent connections. The line "quit" (or EOF) closes the connection.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+// Config adjusts a Server. The zero value serves with defaults.
+type Config struct {
+	// Strategy is the information-passing strategy compiled into every
+	// plan ("" = greedy). It keys the plan cache alongside query shape.
+	Strategy string
+	// Batch enables footnote-2 request batching in every evaluation.
+	Batch bool
+	// MaxConcurrent is the admission limit: how many queries may evaluate
+	// simultaneously (<=0 means DefaultMaxConcurrent). Excess queries
+	// queue, still subject to Timeout.
+	MaxConcurrent int
+	// Timeout bounds each query's queueing plus evaluation time
+	// (0 = unbounded).
+	Timeout time.Duration
+	// Stats receives every evaluation's counters and the plan-cache
+	// hit/miss counters — point the diagnostics mux's /metrics at it.
+	// Nil allocates a private accumulator.
+	Stats *trace.Stats
+	// Logf, when set, receives one line per served query.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxConcurrent is the admission limit when Config leaves
+// MaxConcurrent unset.
+const DefaultMaxConcurrent = 4
+
+// Server serves queries against one System. Create with New; it is ready
+// immediately and safe for concurrent use.
+type Server struct {
+	sys    *mpq.System
+	cfg    Config
+	sem    chan struct{}
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup // live connections
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+}
+
+// New wraps sys in a Server with cfg's policies.
+func New(sys *mpq.System, cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &trace.Stats{}
+	}
+	return &Server{
+		sys:       sys,
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		closed:    make(chan struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// Stats returns the accumulator every query's counters feed (the one to
+// expose on /metrics).
+func (s *Server) Stats() *trace.Stats { return s.cfg.Stats }
+
+// Serve accepts connections on ln until Close (returning nil) or a fatal
+// accept error. Each connection gets its own goroutine; Serve may be
+// called on several listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every listener, and waits for in-flight
+// connections to finish their current query.
+func (s *Server) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	clear(s.listeners)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// handle runs one connection's query loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+			continue
+		case "quit":
+			return
+		}
+		s.serveLine(line, w)
+		if w.Flush() != nil {
+			return
+		}
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+	}
+}
+
+// serveLine evaluates one protocol line and writes its full response.
+func (s *Server) serveLine(src string, w io.Writer) {
+	n := 0
+	reused, err := s.run(context.Background(), src, func(tuple []string) {
+		if len(tuple) == 0 {
+			fmt.Fprintf(w, "T\n")
+		} else {
+			fmt.Fprintf(w, "T %s\n", strings.Join(tuple, "\t"))
+		}
+		n++
+	})
+	if err != nil {
+		fmt.Fprintf(w, "E %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	fmt.Fprintf(w, ". %d plan=%s\n", n, planWord(reused))
+}
+
+func planWord(reused bool) string {
+	if reused {
+		return "hit"
+	}
+	return "miss"
+}
+
+// errOverload is returned when a query's deadline expires while it is
+// still queued behind MaxConcurrent running queries.
+var errOverload = errors.New("queued past deadline (server at -max-concurrent)")
+
+// run resolves src through the plan cache and streams its answers to emit
+// under the server's admission and deadline policies.
+func (s *Server) run(ctx context.Context, src string, emit func(tuple []string)) (reused bool, err error) {
+	start := time.Now()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	// Admission: the deadline keeps ticking while queued.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return false, fmt.Errorf("%w: %w", errOverload, ctx.Err())
+	case <-s.closed:
+		return false, errors.New("server shutting down")
+	}
+	defer func() { <-s.sem }()
+
+	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(s.cfg.Stats)}
+	if s.cfg.Batch {
+		opts = append(opts, mpq.WithBatching())
+	}
+	pq, args, reused, err := s.sys.QueryPrepared(src, opts...)
+	if err != nil {
+		return false, err
+	}
+	n := 0
+	for tuple, err := range pq.Answers(ctx, args...) {
+		if err != nil {
+			return reused, err
+		}
+		emit(tuple)
+		n++
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("query %q: %d answers, plan=%s, %v", src, n, planWord(reused), time.Since(start).Round(time.Microsecond))
+	}
+	return reused, nil
+}
+
+// Handler serves the same queries over HTTP for the diagnostics mux:
+// POST /query with the query text as the body. The response is text/plain
+// in the line-protocol framing (T/. lines, buffered — answer sets are
+// finite), with the plan outcome duplicated in the X-Mpq-Plan header;
+// errors map to 400 (bad query) or 503 (overload deadline).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a query, e.g. ?- path(a, Y).", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		src := strings.TrimSpace(string(body))
+		if src == "" {
+			http.Error(w, "empty query", http.StatusBadRequest)
+			return
+		}
+		// Buffer the response so pre-stream errors can still set a status.
+		var buf strings.Builder
+		n := 0
+		reused, err := s.run(r.Context(), src, func(tuple []string) {
+			if len(tuple) == 0 {
+				buf.WriteString("T\n")
+			} else {
+				fmt.Fprintf(&buf, "T %s\n", strings.Join(tuple, "\t"))
+			}
+			n++
+		})
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, errOverload) {
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Mpq-Plan", planWord(reused))
+		io.WriteString(w, buf.String())
+		fmt.Fprintf(w, ". %d plan=%s\n", n, planWord(reused))
+	})
+}

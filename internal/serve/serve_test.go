@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+const testProgram = `
+	edge(a, b). edge(b, c). edge(c, a). edge(c, d). edge(x, y).
+	path(X, Y) :- edge(X, Y).
+	path(X, Y) :- path(X, U), edge(U, Y).
+	goal(Y) :- path(a, Y).
+`
+
+// wants maps each source vertex to its reachable set under testProgram.
+var wants = map[string][]string{
+	"a": {"a", "b", "c", "d"},
+	"b": {"a", "b", "c", "d"},
+	"c": {"a", "b", "c", "d"},
+	"d": {},
+	"x": {"y"},
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(mpq.MustLoad(testProgram), cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// query sends one line-protocol query and parses the full response.
+func query(t *testing.T, conn net.Conn, sc *bufio.Scanner, src string) (tuples []string, reused bool, err error) {
+	t.Helper()
+	if _, werr := fmt.Fprintf(conn, "%s\n", src); werr != nil {
+		t.Fatal(werr)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "T" || strings.HasPrefix(line, "T "):
+			tuples = append(tuples, strings.TrimPrefix(strings.TrimPrefix(line, "T"), " "))
+		case strings.HasPrefix(line, ". "):
+			var n int
+			var plan string
+			if _, serr := fmt.Sscanf(line, ". %d plan=%s", &n, &plan); serr != nil {
+				t.Fatalf("bad terminator %q: %v", line, serr)
+			}
+			if n != len(tuples) {
+				t.Fatalf("terminator count %d, saw %d tuples", n, len(tuples))
+			}
+			return tuples, plan == "hit", nil
+		case strings.HasPrefix(line, "E "):
+			return nil, false, fmt.Errorf("%s", strings.TrimPrefix(line, "E "))
+		default:
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+	t.Fatalf("connection closed mid-response: %v", sc.Err())
+	return nil, false, nil
+}
+
+func TestServeBasic(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+
+	tuples, reused, err := query(t, conn, sc, "?- path(a, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Error("first query of a shape reported plan=hit")
+	}
+	sort.Strings(tuples)
+	if !reflect.DeepEqual(tuples, wants["a"]) {
+		t.Errorf("path(a,Y) = %v, want %v", tuples, wants["a"])
+	}
+
+	// Same shape, new constant: served from the cache.
+	tuples, reused, err = query(t, conn, sc, "?- path(x, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Error("second query of the shape reported plan=miss")
+	}
+	if !reflect.DeepEqual(tuples, wants["x"]) {
+		t.Errorf("path(x,Y) = %v, want %v", tuples, wants["x"])
+	}
+
+	// Empty answer set and ground queries.
+	if tuples, _, err = query(t, conn, sc, "?- path(d, Y)."); err != nil || len(tuples) != 0 {
+		t.Errorf("path(d,Y) = %v, %v; want no answers", tuples, err)
+	}
+	if tuples, _, err = query(t, conn, sc, "?- path(a, d)."); err != nil || !reflect.DeepEqual(tuples, []string{""}) {
+		t.Errorf("ground true = %v, %v; want one empty tuple", tuples, err)
+	}
+
+	// A malformed query gets an E line and the connection survives.
+	if _, _, err = query(t, conn, sc, "?- path(X Y)."); err == nil {
+		t.Error("syntax error did not error")
+	}
+	if tuples, _, err = query(t, conn, sc, "?- path(x, Y)."); err != nil || !reflect.DeepEqual(tuples, wants["x"]) {
+		t.Errorf("query after error = %v, %v", tuples, err)
+	}
+}
+
+// TestServeConcurrentSoak is the acceptance soak: well over 8 concurrent
+// connections fire parameterized queries at one server under -race; every
+// response must match its own query (no cross-query answer bleed) and the
+// server must not hang.
+func TestServeConcurrentSoak(t *testing.T) {
+	srv, addr := startServer(t, Config{MaxConcurrent: 8, Timeout: 30 * time.Second})
+	consts := []string{"a", "b", "c", "d", "x"}
+	const clients = 12
+	const perClient = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for j := 0; j < perClient; j++ {
+				c := consts[(i+j)%len(consts)]
+				tuples, _, err := query(t, conn, sc, fmt.Sprintf("?- path(%s, Y).", c))
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", i, j, err)
+					return
+				}
+				sort.Strings(tuples)
+				want := wants[c]
+				if len(tuples) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(tuples, want) {
+					errs <- fmt.Errorf("client %d: path(%s,Y) = %v, want %v (answer bleed?)", i, c, tuples, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	sn := srv.Stats().Snapshot()
+	if sn.PlanMisses == 0 || sn.PlanHits == 0 {
+		t.Errorf("soak stats hits=%d misses=%d; want both nonzero", sn.PlanHits, sn.PlanMisses)
+	}
+	if total := sn.PlanHits + sn.PlanMisses; total != clients*perClient {
+		t.Errorf("lookups = %d, want %d", total, clients*perClient)
+	}
+}
+
+// TestServeOverloadDeadline drives more queries than MaxConcurrent with a
+// tiny timeout: queued queries must fail fast with the overload error, not
+// hang.
+func TestServeOverloadDeadline(t *testing.T) {
+	srv, addr := startServer(t, Config{MaxConcurrent: 1, Timeout: 50 * time.Millisecond})
+	// Hold the only evaluation slot hostage.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	_, _, err = query(t, conn, sc, "?- path(a, Y).")
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("queued-past-deadline error = %v", err)
+	}
+}
+
+func TestServeHTTPHandler(t *testing.T) {
+	srv, _ := startServer(t, Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	post := func(body string) (int, string, string) {
+		resp, err := hs.Client().Post(hs.URL, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		return resp.StatusCode, b.String(), resp.Header.Get("X-Mpq-Plan")
+	}
+
+	code, body, plan := post("?- path(x, Y).")
+	if code != 200 || plan != "miss" {
+		t.Errorf("first POST: code=%d plan=%q", code, plan)
+	}
+	if body != "T y\n. 1 plan=miss\n" {
+		t.Errorf("body = %q", body)
+	}
+	code, _, plan = post("?- path(x, Y).")
+	if code != 200 || plan != "hit" {
+		t.Errorf("second POST: code=%d plan=%q", code, plan)
+	}
+	if code, _, _ = post("?- path(X Y)."); code != 400 {
+		t.Errorf("bad query code = %d", code)
+	}
+	if code, _, _ = post(""); code != 400 {
+		t.Errorf("empty query code = %d", code)
+	}
+}

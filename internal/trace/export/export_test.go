@@ -24,6 +24,7 @@ func TestPrometheusGolden(t *testing.T) {
 		Joins: 14, EDBScans: 15, EDBTuples: 16,
 		Heartbeats: 17, Reconnects: 18, Replays: 19, PeerDowns: 20,
 		Aborts: 21, DroppedSends: 22, DroppedPuts: 23, FaultDrops: 24,
+		PlanHits: 25, PlanMisses: 26,
 	}
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, sn); err != nil {
@@ -89,6 +90,10 @@ mpq_dropped_puts_total 23
 # HELP mpq_fault_injected_drops_total Messages dropped by injected faults (FaultNet chaos testing).
 # TYPE mpq_fault_injected_drops_total counter
 mpq_fault_injected_drops_total 24
+# HELP mpq_plan_cache_total Plan-cache lookups by outcome: hit reused a compiled plan, miss compiled one.
+# TYPE mpq_plan_cache_total counter
+mpq_plan_cache_total{result="hit"} 25
+mpq_plan_cache_total{result="miss"} 26
 `
 	if got := buf.String(); got != golden {
 		t.Errorf("prometheus output diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, golden)

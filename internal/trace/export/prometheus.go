@@ -83,6 +83,12 @@ var promRows = []metricRow{
 		func(sn trace.Snapshot) int64 { return sn.DroppedPuts }},
 	{"mpq_fault_injected_drops_total", "", "Messages dropped by injected faults (FaultNet chaos testing).", "counter",
 		func(sn trace.Snapshot) int64 { return sn.FaultDrops }},
+	// Prepared-query serving (the plan cache behind System.Query / mpqd
+	// -serve): hits reuse a compiled rule/goal graph, misses compile one.
+	{"mpq_plan_cache_total", `result="hit"`, "Plan-cache lookups by outcome: hit reused a compiled plan, miss compiled one.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.PlanHits }},
+	{"mpq_plan_cache_total", `result="miss"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.PlanMisses }},
 }
 
 // WritePrometheus renders the snapshot in Prometheus text exposition

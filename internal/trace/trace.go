@@ -39,6 +39,13 @@ type Stats struct {
 	droppedSends atomic.Int64 // sends dropped at the transport (failed peer / closed net)
 	droppedPuts  atomic.Int64 // Puts dropped by closed mailboxes
 	faultDrops   atomic.Int64 // messages dropped by injected faults (FaultNet)
+
+	// Prepared-query serving counters: plan-cache lookups that reused a
+	// compiled rule/goal graph (hit) versus compiled a fresh one (miss). A
+	// hit means the evaluation performed zero graph builds and zero index
+	// warming.
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // Counter increment hooks, one per event the engine reports.
@@ -71,6 +78,8 @@ func (s *Stats) Abort()              { s.aborts.Add(1) }
 func (s *Stats) DroppedSend()        { s.droppedSends.Add(1) }
 func (s *Stats) DroppedPuts(n int64) { s.droppedPuts.Add(n) }
 func (s *Stats) FaultDrop()          { s.faultDrops.Add(1) }
+func (s *Stats) PlanHit()            { s.planHits.Add(1) }
+func (s *Stats) PlanMiss()           { s.planMisses.Add(1) }
 
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
@@ -91,6 +100,9 @@ type Snapshot struct {
 	PeerDowns                         int64
 	Aborts, DroppedSends, DroppedPuts int64
 	FaultDrops                        int64
+	// Plan-cache lookups: a hit reused a compiled rule/goal graph, a miss
+	// compiled a fresh one (see System.Query and engine.Plan).
+	PlanHits, PlanMisses int64
 }
 
 // Snapshot reads every counter.
@@ -120,6 +132,8 @@ func (s *Stats) Snapshot() Snapshot {
 		DroppedSends: s.droppedSends.Load(),
 		DroppedPuts:  s.droppedPuts.Load(),
 		FaultDrops:   s.faultDrops.Load(),
+		PlanHits:     s.planHits.Load(),
+		PlanMisses:   s.planMisses.Load(),
 	}
 }
 
@@ -149,6 +163,9 @@ func (sn Snapshot) String() string {
 	if sn.Heartbeats+sn.Reconnects+sn.Replays+sn.PeerDowns+sn.Aborts+sn.DroppedSends+sn.DroppedPuts+sn.FaultDrops > 0 {
 		fmt.Fprintf(&b, " heartbeats=%d reconnects=%d replays=%d peerdowns=%d aborts=%d dropped=%d/%dputs faultdrops=%d",
 			sn.Heartbeats, sn.Reconnects, sn.Replays, sn.PeerDowns, sn.Aborts, sn.DroppedSends, sn.DroppedPuts, sn.FaultDrops)
+	}
+	if sn.PlanHits+sn.PlanMisses > 0 {
+		fmt.Fprintf(&b, " planhits=%d planmisses=%d", sn.PlanHits, sn.PlanMisses)
 	}
 	return b.String()
 }

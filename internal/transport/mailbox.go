@@ -103,6 +103,21 @@ func (m *Mailbox) Close() {
 	m.cond.Broadcast()
 }
 
+// Reset reopens a closed (or drained) mailbox for reuse: the queue is
+// emptied, the closed flag and the dropped-Put counter are cleared, and the
+// backing array keeps its capacity. The caller must guarantee no goroutine
+// is still using the mailbox (the engine resets only after its process
+// WaitGroup has drained).
+func (m *Mailbox) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.queue)
+	m.queue = m.queue[:0]
+	m.head = 0
+	m.closed = false
+	m.dropped.Store(0)
+}
+
 // Network delivers messages to node processes by id. Implementations must
 // preserve per-sender order: two messages from the same sender to the same
 // recipient arrive in send order.

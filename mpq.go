@@ -32,8 +32,11 @@
 package mpq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 	"sync"
 	"time"
@@ -94,13 +97,17 @@ func ParseEngine(name string) (Engine, error) {
 
 // System is a loaded program plus its extensional database.
 //
-// Concurrent Eval/EvalStream calls on one System are safe. Mutation
-// (AddFact, LoadData) must not overlap with evaluations.
+// Concurrent Eval/EvalStream/Query calls and concurrent evaluations of one
+// PreparedQuery on one System are safe. Mutation (AddFact, LoadData) is
+// internally locked against other mutation and against index warming, but
+// must not overlap with running evaluations (evaluations read the base
+// relations without locks).
 type System struct {
 	Program *ast.Program
 	DB      *edb.Database
 
-	mu sync.Mutex // serializes mutation and index warming
+	mu    sync.Mutex // serializes mutation and index warming
+	plans planCache  // compiled query shapes, LRU (see Query)
 }
 
 // Load parses and validates Datalog source, loading its facts into a fresh
@@ -150,17 +157,23 @@ func (s *System) LoadData(pred, path string) (int, error) {
 	return len(added), err
 }
 
-// ensureWarm builds every base-relation index under the lock so that the
-// engine's node processes — which run concurrently — only ever read them.
-func (s *System) ensureWarm() {
+// ensureWarmFor builds every base-relation index the graph's evaluation
+// will probe — single-column and composite — under the lock, so the
+// engine's node processes (which run concurrently, possibly across several
+// simultaneous evaluations) only ever read them.
+func (s *System) ensureWarmFor(g *rgg.Graph) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.DB.WarmIndexes()
+	s.DB.WarmIndexesFor(engine.IndexNeeds(g))
 }
 
 // AddFact inserts one ground fact pred(args...) given as strings, and
-// reports whether it was new. Facts may be added between evaluations.
+// reports whether it was new. Facts may be added between evaluations; the
+// lock serializes AddFact against other mutation and index warming (but not
+// against a running evaluation — see the System doc).
 func (s *System) AddFact(pred string, args ...string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := s.DB.Add(pred, args...)
 	if added {
 		a := ast.Atom{Pred: pred}
@@ -179,6 +192,7 @@ type config struct {
 	stats        *trace.Stats
 	batch        bool
 	trace        io.Writer
+	ctx          context.Context
 	deadline     time.Duration
 	cancel       <-chan struct{}
 	profile      *trace.Profile
@@ -230,16 +244,96 @@ func WithBatching() Option { return func(c *config) { c.batch = true } }
 // a debugging and teaching aid. MessagePassing engine only.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
 
-// WithDeadline bounds a MessagePassing evaluation in wall-clock time: when
-// d elapses the engine aborts every node process and Eval returns
-// engine.ErrDeadline instead of running (or hanging) forever.
+// WithContext derives a MessagePassing evaluation's lifetime from ctx: when
+// ctx is cancelled or its deadline expires, the engine aborts every node
+// process and the evaluation returns an error satisfying errors.Is for both
+// taxonomies — engine.ErrCancelled/engine.ErrDeadline and
+// context.Canceled/context.DeadlineExceeded. This is the primary
+// cancellation mechanism; WithDeadline and WithCancel are shims over it.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+// WithDeadline bounds a MessagePassing evaluation in wall-clock time: a
+// shim over WithContext that derives a context expiring after d. When it
+// expires, Eval returns an error satisfying errors.Is(err,
+// engine.ErrDeadline) and errors.Is(err, context.DeadlineExceeded) instead
+// of running (or hanging) forever. Composes with WithContext: the earlier
+// of the two deadlines wins.
 func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
 
-// WithCancel aborts a MessagePassing evaluation when ch is closed; Eval
-// returns engine.ErrCancelled. Unlike EvalStream's yield-false (which
-// stops cleanly with partial answers), this is the emergency stop usable
-// from any goroutine.
+// WithCancel aborts a MessagePassing evaluation when ch is closed — a shim
+// over WithContext for callers holding a channel rather than a context; the
+// returned error satisfies errors.Is for engine.ErrCancelled and
+// context.Canceled. Unlike a streaming yield-false (which stops cleanly
+// with partial answers), this is the emergency stop usable from any
+// goroutine.
 func WithCancel(ch <-chan struct{}) Option { return func(c *config) { c.cancel = ch } }
+
+// evalContext derives the single context governing one evaluation from the
+// WithContext/WithDeadline/WithCancel options. The returned cancel must be
+// called when the evaluation finishes (it releases the deadline timer and
+// the channel-watching shim goroutine).
+func (c *config) evalContext() (context.Context, context.CancelFunc) {
+	ctx := c.ctx
+	if ctx == nil {
+		if c.deadline <= 0 && c.cancel == nil {
+			return context.Background(), func() {}
+		}
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if c.deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.deadline)
+	} else if c.cancel != nil {
+		ctx, cancel = context.WithCancel(ctx)
+	} else {
+		return ctx, func() {}
+	}
+	if ch := c.cancel; ch != nil {
+		go func() {
+			select {
+			case <-ch:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	return ctx, cancel
+}
+
+// engineOptions assembles the engine's option set for this configuration,
+// wiring the derived context in as the engine's cancel signal (the
+// context's own timer enforces any deadline, so engine.Options.Deadline
+// stays unset).
+func (c *config) engineOptions(ctx context.Context) engine.Options {
+	return engine.Options{Stats: c.stats, Batch: c.batch, Trace: c.trace,
+		Cancel: ctx.Done(), Profile: c.profile, Events: c.events}
+}
+
+// ctxDone returns the context's cancellation channel, tolerating nil (the
+// prepared-query entry points accept a nil context as context.Background).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// engineError classifies an engine abort caused by the evaluation's
+// context: the engine only sees a closed cancel channel (ErrCancelled), so
+// when the context reports why, the error is rewritten to satisfy
+// errors.Is for both the engine sentinel and the context sentinel.
+func engineError(err error, ctx context.Context) error {
+	if err == nil || ctx == nil || !errors.Is(err, engine.ErrCancelled) {
+		return err
+	}
+	switch ctx.Err() {
+	case context.DeadlineExceeded:
+		return fmt.Errorf("%w (%w)", engine.ErrDeadline, context.DeadlineExceeded)
+	case context.Canceled:
+		return fmt.Errorf("%w (%w)", engine.ErrCancelled, context.Canceled)
+	}
+	return err
+}
 
 // WithProfile collects per-node execution counters into p (messages, rows,
 // joins, and wall-time per rule/goal graph node, plus the termination-
@@ -262,6 +356,9 @@ type Answer struct {
 	Tuples [][]string
 	// Stats holds the message engine's counters (MessagePassing only).
 	Stats trace.Snapshot
+	// Reused reports whether Query served this evaluation from the plan
+	// cache (always false for Eval and the first Query of a shape).
+	Reused bool
 	// Counts holds bottom-up effort counters (other engines).
 	Counts bottomup.Counts
 }
@@ -278,11 +375,12 @@ func (s *System) Eval(opts ...Option) (*Answer, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.ensureWarm()
-		res, err := engine.Run(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
-			Deadline: cfg.deadline, Cancel: cfg.cancel, Profile: cfg.profile, Events: cfg.events})
+		s.ensureWarmFor(g)
+		ctx, cancel := cfg.evalContext()
+		defer cancel()
+		res, err := engine.Run(g, s.DB, cfg.engineOptions(ctx))
 		if err != nil {
-			return nil, err
+			return nil, engineError(err, ctx)
 		}
 		return &Answer{Engine: cfg.engine, Tuples: render(res.Answers, s.DB), Stats: res.Stats}, nil
 	case SemiNaive:
@@ -317,12 +415,40 @@ func (s *System) Explain(pred string, args ...string) (*bottomup.Proof, bool) {
 	return bottomup.NewExplainer(s.Program, s.DB).Explain(pred, args...)
 }
 
-// EvalStream evaluates with the message-passing engine, invoking yield for
-// every answer as it is derived ("answer tuples come trickling in
-// throughout the computation", §3.1 of the paper). Return false from yield
-// to cancel the evaluation early — useful for exists-style queries that
-// need only the first answer. The returned snapshot covers whatever work
-// ran.
+// Answers evaluates with the message-passing engine and returns the goal
+// tuples as a range-over-func iterator, in derivation order ("answer
+// tuples come trickling in throughout the computation", §3.1 of the
+// paper). Breaking out of the range cancels the evaluation cleanly, so an
+// exists-style query is a plain loop-and-break. A non-nil error is yielded
+// at most once, as the final pair, with a nil tuple:
+//
+//	for tuple, err := range sys.Answers() {
+//	    if err != nil { ... }
+//	    use(tuple)
+//	    break // early exit is a plain break
+//	}
+func (s *System) Answers(opts ...Option) iter.Seq2[[]string, error] {
+	return func(yield func([]string, error) bool) {
+		stopped := false
+		_, err := s.EvalStream(func(t []string) bool {
+			if !yield(t, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		}, opts...)
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// EvalStream is the pre-iterator streaming interface, kept as a
+// compatibility wrapper: it evaluates with the message-passing engine,
+// invoking yield for every answer as it is derived; returning false from
+// yield cancels the evaluation early. The returned snapshot covers
+// whatever work ran. New code should prefer Answers (range-over-func) or,
+// for repeated parameterized queries, Prepare/Query.
 func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (trace.Snapshot, error) {
 	cfg := config{}
 	for _, o := range opts {
@@ -335,9 +461,10 @@ func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (tr
 	if err != nil {
 		return trace.Snapshot{}, err
 	}
-	s.ensureWarm()
-	res, err := engine.RunStream(g, s.DB, engine.Options{Stats: cfg.stats, Batch: cfg.batch, Trace: cfg.trace,
-		Deadline: cfg.deadline, Cancel: cfg.cancel, Profile: cfg.profile, Events: cfg.events},
+	s.ensureWarmFor(g)
+	ctx, cancel := cfg.evalContext()
+	defer cancel()
+	res, err := engine.RunStream(g, s.DB, cfg.engineOptions(ctx),
 		func(t relation.Tuple) bool {
 			row := make([]string, len(t))
 			for i, sym := range t {
@@ -346,7 +473,7 @@ func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (tr
 			return yield(row)
 		})
 	if err != nil {
-		return trace.Snapshot{}, err
+		return trace.Snapshot{}, engineError(err, ctx)
 	}
 	return res.Stats, nil
 }
@@ -371,6 +498,14 @@ func render(r *relation.Relation, db *edb.Database) [][]string {
 		}
 		out = append(out, t)
 	}
+	sortTuples(out)
+	return out
+}
+
+// sortTuples orders rendered tuples lexicographically — the one answer
+// order every evaluation path (Eval, Query, PreparedQuery.Eval) produces,
+// so equivalence checks can compare byte for byte.
+func sortTuples(out [][]string) {
 	sort.Slice(out, func(i, j int) bool {
 		for k := range out[i] {
 			if out[i][k] != out[j][k] {
@@ -379,7 +514,6 @@ func render(r *relation.Relation, db *edb.Database) [][]string {
 		}
 		return false
 	})
-	return out
 }
 
 // Has reports whether the answer contains the exact tuple.

@@ -16,6 +16,9 @@ go vet ./...
 # must point at a real file. SNIPPETS/PAPERS/ISSUE quote external material
 # whose links are not ours to keep alive, so they are not listed.
 go run ./cmd/mdlinkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md doc/*.md
+# API gate: the exported surface of package mpq must match the checked-in
+# snapshot. Intentional changes: go run ./cmd/apisnap > api/mpq.txt
+go run ./cmd/apisnap -check api/mpq.txt
 if [ "${1:-}" = "docs" ]; then
 	exit 0
 fi
