@@ -40,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -69,10 +70,12 @@ func main() {
 	serveAddr := flag.String("serve", "", "single-site serving mode: accept queries on this address over the line protocol (see doc/PROTOCOL.md) instead of evaluating once")
 	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "-serve: how many queries evaluate at once (excess queries queue)")
 	batch := flag.Bool("batch", false, "-serve: evaluate with footnote-2 request batching")
+	partitions := flag.Int("partitions", 0, "hash-partitioned worker shards per node process (-serve: 0 = GOMAXPROCS; multi-site: must be set identically on every site, 0 = sequential)")
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *programPath, *strategy, *batch, *maxConcurrent, *deadline, *metricsAddr)
+		runServe(*serveAddr, *programPath, *strategy, *batch, *maxConcurrent,
+			resolvePartitions(*partitions), *deadline, *metricsAddr)
 		return
 	}
 
@@ -162,7 +165,12 @@ func main() {
 		net = fn
 	}
 
-	opts := engine.Options{Stats: st, Deadline: *deadline, PeerDown: down}
+	// Multi-site: shard planning is a pure function of (graph, partition
+	// count), and senders stamp shard routes for remote nodes too, so every
+	// site must run the same count. GOMAXPROCS can differ across machines —
+	// no auto here; the flag must be set explicitly (and identically).
+	opts := engine.Options{Stats: st, Deadline: *deadline, PeerDown: down,
+		Partitions: *partitions}
 	var prof *trace.Profile
 	if *profile {
 		prof = trace.NewProfile()
@@ -205,7 +213,7 @@ func main() {
 // answer queries over the line protocol until killed, reusing compiled
 // plans across queries and connections. The diagnostics mux additionally
 // gains POST /query.
-func runServe(addr, programPath, strategy string, batch bool, maxConcurrent int, deadline time.Duration, metricsAddr string) {
+func runServe(addr, programPath, strategy string, batch bool, maxConcurrent, partitions int, deadline time.Duration, metricsAddr string) {
 	if programPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -serve ADDR [-max-concurrent N] [-deadline D] [-metrics ADDR]")
 		os.Exit(2)
@@ -217,6 +225,7 @@ func runServe(addr, programPath, strategy string, batch bool, maxConcurrent int,
 	srv := serve.New(sys, serve.Config{
 		Strategy:      strategy,
 		Batch:         batch,
+		Partitions:    partitions,
 		MaxConcurrent: maxConcurrent,
 		Timeout:       deadline,
 		Logf: func(format string, args ...any) {
@@ -242,6 +251,16 @@ func runServe(addr, programPath, strategy string, batch bool, maxConcurrent int,
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}
+}
+
+// resolvePartitions maps the -partitions flag to a worker-shard count:
+// 0 is "auto" (one shard per available CPU), anything else passes through
+// (values below 2 mean sequential evaluation).
+func resolvePartitions(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 func count(hosts []int, site int) int {

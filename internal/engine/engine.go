@@ -101,6 +101,18 @@ type Options struct {
 	// Its length must equal the root's number of "d" positions — zero for
 	// ordinary all-free roots.
 	Bind []symtab.Sym
+	// Partitions, when >= 2, splits every partitionable rule and IDB goal
+	// node into that many hash-partitioned worker shards — goroutines with
+	// private mailboxes and join state, fed by sender-side hash routing on
+	// the node's partition key (see DESIGN.md, "Partitioned node
+	// processes"). 0 or 1 keeps the one-goroutine-per-node behavior. The
+	// answer set is identical at any setting; only the schedule (and hence
+	// wall-clock on multi-core hosts) changes. Multi-site runs must pass
+	// the same value at every site, since senders compute the shard of
+	// remote receivers. The mpq/mpqd CLIs default their -partitions flag to
+	// GOMAXPROCS; the engine zero value stays sequential so embedders opt
+	// in explicitly.
+	Partitions int
 }
 
 // Run evaluates the graph's query against the database with every node
@@ -122,6 +134,7 @@ func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation
 	if err != nil {
 		return nil, err
 	}
+	rt.local = local
 	stop := rt.startWatch(opts)
 	for id := range g.Nodes {
 		rt.startProc(id, local.Boxes[id])
@@ -166,6 +179,7 @@ func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *tran
 	if err != nil {
 		return nil, err
 	}
+	rt.local = local
 	stop := rt.startWatch(opts)
 	for id := range g.Nodes {
 		if hosts[id] == site {
@@ -237,6 +251,14 @@ type runner struct {
 	events *trace.EventLog
 	begin  time.Time
 
+	// parts is the partition plan (Options.Partitions >= 2), indexed by
+	// node id with a nil entry for unpartitioned nodes and the driver; nil
+	// when partitioning is off or no node qualifies. local is the Local
+	// transport hosting this site's mailboxes — partitioned nodes register
+	// their worker shard mailboxes with it for sender-side fan-out.
+	parts []*partSpec
+	local *transport.Local
+
 	// hosts/site describe the node→site partition for multi-site runs (nil
 	// hosts means everything is local); abort uses them to deliver Abort
 	// messages to local mailboxes synchronously but remote sites in the
@@ -262,10 +284,29 @@ func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Optio
 		bind: opts.Bind, batch: opts.Batch, edbDelay: opts.EDBDelay, traceW: opts.Trace,
 		prof: opts.Profile, events: opts.Events,
 		hosts: hosts, site: site}
+	if opts.Partitions >= 2 {
+		rt.parts = planPartitions(g, opts.Partitions)
+	}
+	workers := 0
+	for _, sp := range rt.parts {
+		if sp != nil {
+			workers += sp.n
+		}
+	}
+	stats.SetWorkers(int64(workers))
 	if rt.prof != nil || rt.events != nil {
 		rt.initObservers()
 	}
 	return rt, nil
+}
+
+// partSpec returns node id's partition plan, or nil when it runs as a
+// single process.
+func (rt *runner) partSpec(id int) *partSpec {
+	if rt.parts == nil {
+		return nil
+	}
+	return rt.parts[id]
 }
 
 // initObservers sizes the profile/event log for this graph and labels

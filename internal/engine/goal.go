@@ -80,6 +80,33 @@ func newGoalState(p *proc) *goalState {
 	}
 	if g.isEDB {
 		g.edbRel = p.rt.db.Relation(n.Atom.Key())
+		if n.EDBShardOf > 1 {
+			// Shard leaf of a hash-partitioned EDB relation: pre-slice the
+			// base relation so this leaf serves exactly its hash slice. The
+			// sibling shards hold the complement; requests are broadcast to
+			// all of them, so the union of the slices answers each request.
+			slice := relation.New(g.edbRel.Arity())
+			for _, row := range g.edbRel.Rows() {
+				if int(relation.HashTuple(row)%uint64(n.EDBShardOf)) == n.EDBShard {
+					slice.Insert(row)
+				}
+			}
+			g.edbRel = slice
+		}
+		if p.wk != nil && len(g.dPos) > 0 {
+			// Worker shard of a partitioned EDB leaf: keep only the rows whose
+			// "d" projection hashes to this worker. Tuple requests are routed
+			// by the same hash of the same projection (partState.onTupReq), so
+			// every binding finds all of its matching rows — and only those —
+			// in this worker's slice.
+			slice := relation.New(g.edbRel.Arity())
+			for _, row := range g.edbRel.Rows() {
+				if int(relation.HashTupleAt(row, g.dPos)%uint64(p.wk.ps.spec.n)) == p.wk.idx {
+					slice.Insert(row)
+				}
+			}
+			g.edbRel = slice
+		}
 		g.consts = make(relation.Binding, len(n.Atom.Args))
 		g.varPoses = make(map[string][]int)
 		for i, t := range n.Atom.Args {
@@ -136,6 +163,10 @@ func (g *goalState) onRelReq(m msg.Message) {
 	if !g.relReqForwarded {
 		g.relReqForwarded = true
 		switch {
+		case g.p.wk != nil:
+			// Worker shard of a partitioned goal: the control process
+			// already forwarded the relation request downstream, once on
+			// behalf of all shards.
 		case g.cycleTo != rgg.NoNode:
 			g.p.send(msg.Message{Kind: msg.RelReq, To: g.cycleTo})
 		case g.isEDB:

@@ -31,10 +31,15 @@ type Plan struct {
 
 // scratch is one run's worth of reusable per-node state: the in-process
 // network and the node processes (whose goal/rule temporaries keep their
-// map and relation capacity across runs).
+// map and relation capacity across runs). partitions records the
+// Options.Partitions the procs were built for — worker shard wiring is
+// structural, so a scratch only serves runs with the same setting
+// (System's plan cache keys plans by partition count, so in practice a
+// Plan sees one value).
 type scratch struct {
-	local *transport.Local
-	procs []*proc
+	local      *transport.Local
+	procs      []*proc
+	partitions int
 }
 
 // NewPlan compiles the graph/database pair into a reusable plan, warming
@@ -58,12 +63,13 @@ func (pl *Plan) Run(opts Options) (*Result, error) {
 // RunStream contract (nil yield collects silently; yield returning false
 // cancels early).
 func (pl *Plan) RunStream(opts Options, yield func(relation.Tuple) bool) (*Result, error) {
-	s, reused := pl.get()
+	s, reused := pl.get(opts.Partitions)
 	rt, err := newRunner(pl.g, pl.db, s.local, opts, nil, 0)
 	if err != nil {
 		pl.pool.Put(s)
 		return nil, err
 	}
+	rt.local = s.local
 	if reused {
 		s.local.Boxes[rt.driver].Reset()
 		for _, p := range s.procs {
@@ -95,13 +101,21 @@ func (pl *Plan) RunStream(opts Options, yield func(relation.Tuple) bool) (*Resul
 
 // get draws a scratch set from the pool, reporting whether it is a recycled
 // one (whose procs must be reset) or a fresh shell (whose procs the caller
-// constructs against its runner).
-func (pl *Plan) get() (s *scratch, reused bool) {
+// constructs against its runner). A pooled scratch built for a different
+// partition count is discarded — its worker wiring would not match — and a
+// fresh shell returned instead.
+func (pl *Plan) get(partitions int) (s *scratch, reused bool) {
+	if partitions < 2 {
+		partitions = 0
+	}
 	if v := pl.pool.Get(); v != nil {
-		return v.(*scratch), true
+		if sc := v.(*scratch); sc.partitions == partitions {
+			return sc, true
+		}
 	}
 	n := len(pl.g.Nodes)
-	return &scratch{local: transport.NewLocal(n + 1), procs: make([]*proc, n)}, false
+	return &scratch{local: transport.NewLocal(n + 1), procs: make([]*proc, n),
+		partitions: partitions}, false
 }
 
 // ---- per-run reset --------------------------------------------------------
@@ -118,10 +132,15 @@ func (p *proc) reset(rt *runner) {
 	p.rt = rt
 	p.shard = nil
 	if rt.prof != nil {
-		p.shard = rt.prof.Shard(p.id)
+		if p.wk != nil {
+			p.shard = rt.prof.WorkerShard(p.id, p.wk.idx, p.wk.ps.spec.n)
+		} else {
+			p.shard = rt.prof.Shard(p.id)
+		}
 	}
 	for _, f := range p.feeds {
-		f.sent, f.acked, f.allEnd = 0, 0, false
+		f.sent.Store(0)
+		f.acked, f.allEnd = 0, false
 	}
 	p.idleness, p.round, p.waitingFor = 0, 0, 0
 	p.anyNeg, p.inRound, p.confirmed = false, false, false
@@ -132,10 +151,36 @@ func (p *proc) reset(rt *runner) {
 		b.vals, b.count = nil, 0
 	}
 	p.box.Reset()
-	if p.goal != nil {
+	switch {
+	case p.part != nil:
+		p.part.reset(rt)
+	case p.goal != nil:
 		p.goal.reset()
-	} else {
+	default:
 		p.rule.reset()
+	}
+}
+
+// reset returns a partitioned node's control state and worker procs to
+// their just-constructed state. The workers share p.feeds with the control
+// proc, so their reset re-clears those counters — harmless, since reset
+// runs strictly between evaluations.
+func (ps *partState) reset(rt *runner) {
+	for _, cs := range ps.customers {
+		cs.registered = false
+		clear(cs.reqs)
+		cs.reqCount = 0
+		cs.reqEnd = false
+	}
+	ps.relReqReceived = false
+	ps.parentReqEnd = false
+	ps.headReqCount = 0
+	ps.lastWatermark = 0
+	ps.allSent = false
+	ps.workAtProbe = 0
+	for _, w := range ps.workers {
+		w.wk.work.Store(0)
+		w.reset(rt)
 	}
 }
 

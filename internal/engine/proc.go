@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adorn"
@@ -57,13 +58,29 @@ type proc struct {
 	goal *goalState
 	rule *ruleState
 
+	// part is set on the control process of a hash-partitioned node (the
+	// goal/rule state then lives in the workers); wk is set on a worker
+	// shard proc (which runs workerLoop, not loop). Both nil on an ordinary
+	// node process. See shard.go.
+	part *partState
+	wk   *workerCtx
+
 	// pending buffers outgoing tuple requests per child and pendTups
-	// buffers outgoing tuples per destination, when footnote 2's batching
-	// is enabled. Both are flushed at mailbox-drain boundaries and before
-	// any termination-protocol message is handled, so completion logic
-	// never observes a state with undelivered buffered traffic.
+	// buffers outgoing tuples per destination (and, for partitioned
+	// receivers, per worker shard — each shard still receives one frame per
+	// drain), when footnote 2's batching is enabled. Both are flushed at
+	// mailbox-drain boundaries and before any termination-protocol message
+	// is handled, so completion logic never observes a state with
+	// undelivered buffered traffic.
 	pending  map[int]*reqBatch
-	pendTups map[int]*reqBatch
+	pendTups map[destShard]*reqBatch
+}
+
+// destShard keys the tuple batching buffer: destination node plus worker
+// shard (0 = control mailbox).
+type destShard struct {
+	dest  int
+	shard int32
 }
 
 // reqBatch accumulates concatenated same-width rows for one destination
@@ -77,16 +94,22 @@ type reqBatch struct {
 // tuple requests were sent and how many the child has acknowledged as fully
 // serviced. Children without "d" positions have one implicit request,
 // completed by End{All}.
+//
+// sent is atomic because the worker shards of a partitioned node share
+// their control process's feeds map: workers add at queue time — before
+// the request can possibly reach the child — so acked (written only by the
+// control process, which alone receives End) can never overtake a count
+// that was not yet visible, and settled() stays conservative.
 type feedState struct {
 	hasD   bool
-	sent   int
+	sent   atomic.Int64
 	acked  int
 	allEnd bool
 }
 
 func (f *feedState) settled() bool {
 	if f.hasD {
-		return f.acked >= f.sent
+		return int64(f.acked) >= f.sent.Load()
 	}
 	return f.allEnd
 }
@@ -112,6 +135,12 @@ func newProc(rt *runner, id int, box *transport.Mailbox) *proc {
 		if rt.g.Nodes[c].SCC != n.SCC {
 			p.feeds[c] = &feedState{hasD: hasDynamic(childAdornment(rt.g, c))}
 		}
+	}
+	if sp := rt.partSpec(id); sp != nil {
+		// Partitioned node: the goal/rule state lives in the worker shards
+		// (which share p.feeds); this proc is the control process.
+		p.part = newPartState(p, sp)
+		return p
 	}
 	switch n.Kind {
 	case rgg.Goal:
@@ -172,6 +201,10 @@ func dynamicPositions(ad adorn.Adornment) []int {
 // tuple reaches the channel before any End that covers it (per-sender FIFO
 // does the rest), and emptyQueues() is never evaluated with hidden output.
 func (p *proc) loop() {
+	if ps := p.part; ps != nil {
+		ps.start()
+		defer ps.stop()
+	}
 	observe := p.shard != nil || p.rt.events != nil
 	for {
 		m, ok := p.box.Get()
@@ -274,7 +307,7 @@ func (p *proc) statEDBTuples(n int) {
 // for the child, maintaining the cross-component watermark accounting.
 func (p *proc) queueTupReq(child int, vals []symtab.Sym) {
 	if f := p.feeds[child]; f != nil {
-		f.sent++
+		f.sent.Add(1)
 	}
 	if !p.rt.batch {
 		p.send(msg.Message{Kind: msg.TupReq, To: child, Vals: vals, Count: 1})
@@ -306,18 +339,23 @@ func (p *proc) flushReqs() {
 
 // queueTuple sends (or, under batching, buffers) one derived tuple for the
 // destination. The row is copied when buffered, so callers may reuse vals.
+// When the destination is partitioned the owning worker shard is computed
+// here, at the sender, and rows are buffered per (dest, shard) so each
+// shard still receives one frame per drain.
 func (p *proc) queueTuple(dest int, vals []symtab.Sym) {
+	shard := p.rt.shardOf(p.id, dest, vals)
 	if !p.rt.batch {
-		p.send(msg.Message{Kind: msg.Tuple, To: dest, Vals: vals})
+		p.send(msg.Message{Kind: msg.Tuple, To: dest, Vals: vals, Shard: shard})
 		return
 	}
 	if p.pendTups == nil {
-		p.pendTups = make(map[int]*reqBatch)
+		p.pendTups = make(map[destShard]*reqBatch)
 	}
-	b, ok := p.pendTups[dest]
+	k := destShard{dest: dest, shard: shard}
+	b, ok := p.pendTups[k]
 	if !ok {
 		b = &reqBatch{}
-		p.pendTups[dest] = b
+		p.pendTups[k] = b
 	}
 	b.vals = append(b.vals, vals...)
 	b.count++
@@ -326,12 +364,12 @@ func (p *proc) queueTuple(dest int, vals []symtab.Sym) {
 // flushTuples emits buffered tuples: a lone row goes out as an ordinary
 // Tuple, several rows as one TupleBatch carrying their concatenation.
 func (p *proc) flushTuples() {
-	for dest, b := range p.pendTups {
+	for k, b := range p.pendTups {
 		switch {
 		case b.count == 1:
-			p.send(msg.Message{Kind: msg.Tuple, To: dest, Vals: b.vals})
+			p.send(msg.Message{Kind: msg.Tuple, To: k.dest, Vals: b.vals, Shard: k.shard})
 		case b.count > 1:
-			p.send(msg.Message{Kind: msg.TupleBatch, To: dest, Vals: b.vals, Count: b.count})
+			p.send(msg.Message{Kind: msg.TupleBatch, To: k.dest, Vals: b.vals, Count: b.count, Shard: k.shard})
 		}
 		if b.count > 0 {
 			b.vals, b.count = nil, 0
@@ -384,9 +422,12 @@ func (p *proc) handle(m msg.Message) {
 	case msg.End:
 		p.onEnd(m)
 	default:
-		if p.goal != nil {
+		switch {
+		case p.part != nil:
+			p.part.handle(m)
+		case p.goal != nil:
 			p.goal.handle(m)
-		} else {
+		default:
 			p.rule.handle(m)
 		}
 	}
@@ -419,9 +460,20 @@ func (p *proc) feedersSettled() bool {
 }
 
 // emptyQueues is the protocol predicate of Fig 2: the node has no pending
-// work and its feeders have serviced all outstanding requests.
+// work and its feeders have serviced all outstanding requests. For a
+// partitioned node the worker shards count as part of the node: all worker
+// mailboxes must be Quiet (empty, with no dequeued message still in
+// flight). The check order matters — feedersSettled reads the atomic
+// request counters only after the Quiet loads, so a request queued by a
+// worker whose completion we observed is always counted.
 func (p *proc) emptyQueues() bool {
-	return p.box.Empty() && p.feedersSettled()
+	if !p.box.Empty() {
+		return false
+	}
+	if p.part != nil && !p.part.quiet() {
+		return false
+	}
+	return p.feedersSettled()
 }
 
 // isWork classifies messages that constitute computation: anything except
@@ -440,6 +492,11 @@ func isWork(k msg.Kind) bool {
 // bookkeeping, non-recursive end emission, nudges, and leader round starts.
 func (p *proc) after(m msg.Message) {
 	if p.recursive {
+		// A self-addressed Nudge is a worker shard reporting that it just
+		// drained: invisible-to-the-control work happened, so treat it like
+		// work for liveness purposes (member → nudge leader, leader →
+		// re-evaluate a round below).
+		selfNudge := m.Kind == msg.Nudge && m.From == p.id
 		if isWork(m.Kind) {
 			p.idleness = 0
 			if p.isLeader {
@@ -450,7 +507,7 @@ func (p *proc) after(m msg.Message) {
 			if !p.inRound && p.emptyQueues() && !p.confirmed {
 				p.startRound()
 			}
-		} else if isWork(m.Kind) && p.emptyQueues() {
+		} else if (isWork(m.Kind) || selfNudge) && p.emptyQueues() {
 			// Local quiescence may complete global quiescence: hint the
 			// leader to (re)try a protocol round.
 			p.send(msg.Message{Kind: msg.Nudge, To: p.leaderID})
@@ -458,9 +515,12 @@ func (p *proc) after(m msg.Message) {
 		return
 	}
 	// Non-recursive completion: emit watermark/final ends when settled.
-	if p.goal != nil {
+	switch {
+	case p.part != nil:
+		p.part.maybeEnd()
+	case p.goal != nil:
 		p.goal.maybeEnd()
-	} else {
+	default:
 		p.rule.maybeEnd()
 	}
 }
@@ -496,9 +556,21 @@ func (p *proc) onEndReq(m msg.Message) {
 
 // processEndReq is Fig 2's process_end_request: bump or reset idleness,
 // then forward the probe down the spanning tree, or answer immediately at a
-// leaf.
+// leaf. A partitioned member additionally compares its workers' completion
+// counters against the previous probe: the control process never sees the
+// shard-routed data traffic, so completed work between probes must reset
+// idleness through the counters (in-flight work is already caught by the
+// Quiet check inside emptyQueues). The counters are read after the Quiet
+// loads so a completion observed via Quiet is never missed.
 func (p *proc) processEndReq() {
-	if p.emptyQueues() {
+	idle := p.emptyQueues()
+	if ps := p.part; ps != nil {
+		if w := ps.workNow(); w != ps.workAtProbe {
+			ps.workAtProbe = w
+			idle = false
+		}
+	}
+	if idle {
 		p.idleness++
 	} else {
 		p.idleness = 0
@@ -555,7 +627,11 @@ func (p *proc) answerRound() {
 		if l := p.rt.events; l != nil {
 			l.Add(trace.Event{At: l.Since(), Op: trace.EvConfirm, Node: p.id, Seq: p.round})
 		}
-		p.goal.confirmedEnd()
+		if p.part != nil {
+			p.part.confirmedEnd()
+		} else {
+			p.goal.confirmedEnd()
+		}
 		return
 	}
 	// Fig 2's process_end_negative: retry immediately while locally quiet.

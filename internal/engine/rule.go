@@ -54,9 +54,12 @@ type ruleState struct {
 
 // subSource is one subgoal's stored temporary relation plus the mappings
 // between its carried argument positions, its distinct variables, and the
-// rule's slots.
+// rule's slots. children holds the node ids serving the subgoal — one goal
+// node normally, N shard leaves when the subgoal reads a hash-partitioned
+// EDB relation (tuple requests broadcast to all of them; their answer
+// streams merge in rel).
 type subSource struct {
-	child    int
+	children []int
 	atom     ast.Atom
 	carried  []int // carried argument positions
 	varCols  []string
@@ -132,7 +135,7 @@ func newRuleState(p *proc) *ruleState {
 	for i, atom := range r.rule.Body {
 		ad := r.sip.SubAd[i]
 		s := &subSource{
-			child:    n.Children[i],
+			children: bodyKids(n, i),
 			atom:     atom,
 			carried:  carriedPositions(ad),
 			dPos:     dynamicPositions(ad),
@@ -190,8 +193,12 @@ func (r *ruleState) onRelReq() {
 		return
 	}
 	r.relReqReceived = true
-	for _, c := range r.p.node.Children {
-		r.p.send(msg.Message{Kind: msg.RelReq, To: c})
+	if r.p.wk == nil {
+		// On a partitioned node the control process already forwarded the
+		// relation request downstream, once on behalf of all shards.
+		for _, c := range r.p.node.Children {
+			r.p.send(msg.Message{Kind: msg.RelReq, To: c})
+		}
 	}
 	if len(r.headDPos) == 0 {
 		r.parentReqEnd = true
@@ -240,8 +247,10 @@ func (r *ruleState) hbColOf(v string) int {
 // sourceIdx maps a sender's node id to its subgoal position in the body.
 func (r *ruleState) sourceIdx(from int) int {
 	for i, s := range r.subs {
-		if s.child == from {
-			return i
+		for _, c := range s.children {
+			if c == from {
+				return i
+			}
 		}
 	}
 	r.p.internalf("tuple from unknown child %d", from)
@@ -314,6 +323,14 @@ func (r *ruleState) trigger(src int, cols []int, vals relation.Tuple) {
 				prefix = append(prefix, k)
 			}
 		}
+		if src == headSource && len(prefix) == 0 && r.p.wk != nil && r.p.wk.idx > 0 {
+			// Worker shard of a partitioned rule: a request derived from the
+			// head binding alone (no supporting subgoal rows) is identical
+			// in every shard — head bindings are replicated — so only worker
+			// 0 sends it. Requests below depend on at least one stored row
+			// and are naturally disjoint across shards.
+			continue
+		}
 		r.enumerate(prefix, 0, slots, func(sl []symtab.Sym) {
 			r.requestSub(j, sl)
 		})
@@ -333,7 +350,12 @@ func (r *ruleState) requestSub(j int, slots []symtab.Sym) {
 		return
 	}
 	s.sentReqs[key] = true
-	r.p.queueTupReq(s.child, vals)
+	// A partitioned EDB subgoal has one child per shard; each holds a hash
+	// slice of the relation, so the request goes to all of them and the
+	// matching slices merge back in s.rel.
+	for _, c := range s.children {
+		r.p.queueTupReq(c, vals)
+	}
 }
 
 // emitHead sends one derived head tuple to the parent goal node.

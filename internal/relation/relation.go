@@ -93,6 +93,21 @@ func hashSyms(vals []symtab.Sym) uint64 {
 	return h
 }
 
+// HashTuple exposes the relation's FNV-1a row hash. Hash partitioning uses
+// it as the one canonical row→shard function: every site and every sender
+// must agree on which shard owns a row, so there is exactly one hash.
+func HashTuple(vals []symtab.Sym) uint64 { return hashSyms(vals) }
+
+// HashTupleAt hashes the values at the given positions of a row, in the
+// given order — the partition-key projection used for shard routing.
+func HashTupleAt(vals []symtab.Sym, pos []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range pos {
+		h = fnvMix(h, uint32(vals[p]))
+	}
+	return h
+}
+
 // maxIndexCols caps the width of a composite index key. Equalities beyond
 // the cap are verified per candidate row (they still never trigger a scan
 // of non-candidates).

@@ -50,6 +50,11 @@ type Config struct {
 	Strategy string
 	// Batch enables footnote-2 request batching in every evaluation.
 	Batch bool
+	// Partitions splits partitionable node processes into this many
+	// hash-partitioned worker shards per evaluation (see
+	// mpq.WithPartitions). It keys the plan cache alongside Strategy and
+	// query shape; <2 means sequential.
+	Partitions int
 	// MaxConcurrent is the admission limit: how many queries may evaluate
 	// simultaneously (<=0 means DefaultMaxConcurrent). Excess queries
 	// queue, still subject to Timeout.
@@ -218,6 +223,9 @@ func (s *Server) run(ctx context.Context, src string, emit func(tuple []string))
 	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(s.cfg.Stats)}
 	if s.cfg.Batch {
 		opts = append(opts, mpq.WithBatching())
+	}
+	if s.cfg.Partitions >= 2 {
+		opts = append(opts, mpq.WithPartitions(s.cfg.Partitions))
 	}
 	pq, args, reused, err := s.sys.QueryPrepared(src, opts...)
 	if err != nil {

@@ -25,6 +25,7 @@ func TestPrometheusGolden(t *testing.T) {
 		Heartbeats: 17, Reconnects: 18, Replays: 19, PeerDowns: 20,
 		Aborts: 21, DroppedSends: 22, DroppedPuts: 23, FaultDrops: 24,
 		PlanHits: 25, PlanMisses: 26,
+		Workers: 27,
 	}
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, sn); err != nil {
@@ -94,6 +95,9 @@ mpq_fault_injected_drops_total 24
 # TYPE mpq_plan_cache_total counter
 mpq_plan_cache_total{result="hit"} 25
 mpq_plan_cache_total{result="miss"} 26
+# HELP mpq_partition_workers Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).
+# TYPE mpq_partition_workers gauge
+mpq_partition_workers 27
 `
 	if got := buf.String(); got != golden {
 		t.Errorf("prometheus output diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, golden)

@@ -89,6 +89,10 @@ var promRows = []metricRow{
 		func(sn trace.Snapshot) int64 { return sn.PlanHits }},
 	{"mpq_plan_cache_total", `result="miss"`, "", "",
 		func(sn trace.Snapshot) int64 { return sn.PlanMisses }},
+	// Hash-partitioned data parallelism: worker-shard goroutines spawned by
+	// the current/latest evaluation (0 = all nodes sequential).
+	{"mpq_partition_workers", "", "Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).", "gauge",
+		func(sn trace.Snapshot) int64 { return sn.Workers }},
 }
 
 // WritePrometheus renders the snapshot in Prometheus text exposition

@@ -97,6 +97,13 @@ type Profile struct {
 	shards []NodeShard
 	meta   []NodeMeta
 
+	// workers holds the extra per-worker counter shards of hash-partitioned
+	// nodes (engine.Options.Partitions), keyed by node id. Allocated
+	// single-threaded during evaluation setup (WorkerShard); at snapshot
+	// time each worker's counters merge into its node's NodeProfile, so the
+	// per-node view stays whole however the node was sharded.
+	workers map[int][]*NodeShard
+
 	mu       sync.Mutex
 	timeline []RoundMark
 }
@@ -112,6 +119,7 @@ func (p *Profile) Init(n int) {
 	p.start = time.Now()
 	p.shards = make([]NodeShard, n)
 	p.meta = make([]NodeMeta, n)
+	p.workers = nil
 	p.mu.Lock()
 	p.timeline = nil
 	p.mu.Unlock()
@@ -122,6 +130,26 @@ func (p *Profile) SetMeta(id int, m NodeMeta) { p.meta[id] = m }
 
 // Shard returns node id's counter shard (the driver uses the last shard).
 func (p *Profile) Shard(id int) *NodeShard { return &p.shards[id] }
+
+// WorkerShard returns (allocating on first use) the counter shard of
+// worker idx of node id's `of` worker shards. The engine calls it during
+// evaluation setup, before any worker goroutine runs; it is not safe for
+// concurrent use with itself (the shards it returns are, like all shards,
+// atomic).
+func (p *Profile) WorkerShard(id, idx, of int) *NodeShard {
+	if p.workers == nil {
+		p.workers = make(map[int][]*NodeShard)
+	}
+	ws := p.workers[id]
+	if len(ws) != of {
+		ws = make([]*NodeShard, of)
+		for i := range ws {
+			ws[i] = &NodeShard{}
+		}
+		p.workers[id] = ws
+	}
+	return ws[idx]
+}
 
 // Size returns the number of shards (0 before Init).
 func (p *Profile) Size() int { return len(p.shards) }
@@ -159,9 +187,13 @@ type NodeProfile struct {
 	// Busy is wall-clock spent handling messages (includes triggered joins
 	// and sends). First/Last bound the node's activity window relative to
 	// the evaluation start; Last-First is the node's span, Busy/span its
-	// duty cycle.
+	// duty cycle. For a hash-partitioned node Busy sums across the worker
+	// shards, so Busy > Last-First means the shards genuinely overlapped.
 	Busy        time.Duration
 	First, Last time.Duration
+	// Workers is the node's worker-shard count (0 = unpartitioned). The
+	// counters above include the workers' contributions.
+	Workers int
 }
 
 // Active reports whether the node handled any message at all.
@@ -181,35 +213,71 @@ func (p *Profile) Snapshot() ProfileSnapshot {
 	snap := ProfileSnapshot{Elapsed: time.Since(p.start)}
 	snap.Nodes = make([]NodeProfile, len(p.shards))
 	for i := range p.shards {
-		s := &p.shards[i]
-		first := s.firstNs.Load()
-		if first > 0 {
-			first-- // undo the +1 encoding of Handled
+		np := shardProfile(&p.shards[i])
+		np.ID = i
+		np.NodeMeta = p.meta[i]
+		for _, ws := range p.workers[i] {
+			mergeShard(&np, shardProfile(ws))
 		}
-		snap.Nodes[i] = NodeProfile{
-			ID:       i,
-			NodeMeta: p.meta[i],
-			Msgs:     s.msgs.Load(),
-			Protocol: s.protocol.Load(),
-			RowsOut:  s.rowsOut.Load(),
-			ReqRows:  s.reqRows.Load(),
-			Handled:  s.handled.Load(),
-			Derived:  s.derived.Load(),
-			Stored:   s.stored.Load(),
-			Dups:     s.dups.Load(),
-			Joins:    s.joins.Load(),
-			EDBScans: s.edbScans.Load(),
-			EDBRows:  s.edbRows.Load(),
-			Rounds:   s.rounds.Load(),
-			Busy:     time.Duration(s.busyNs.Load()),
-			First:    time.Duration(first),
-			Last:     time.Duration(s.lastNs.Load()),
-		}
+		np.Workers = len(p.workers[i])
+		snap.Nodes[i] = np
 	}
 	p.mu.Lock()
 	snap.Rounds = append([]RoundMark(nil), p.timeline...)
 	p.mu.Unlock()
 	return snap
+}
+
+// shardProfile reads one shard's counters into a NodeProfile (meta and ID
+// left for the caller).
+func shardProfile(s *NodeShard) NodeProfile {
+	first := s.firstNs.Load()
+	if first > 0 {
+		first-- // undo the +1 encoding of Handled
+	}
+	return NodeProfile{
+		Msgs:     s.msgs.Load(),
+		Protocol: s.protocol.Load(),
+		RowsOut:  s.rowsOut.Load(),
+		ReqRows:  s.reqRows.Load(),
+		Handled:  s.handled.Load(),
+		Derived:  s.derived.Load(),
+		Stored:   s.stored.Load(),
+		Dups:     s.dups.Load(),
+		Joins:    s.joins.Load(),
+		EDBScans: s.edbScans.Load(),
+		EDBRows:  s.edbRows.Load(),
+		Rounds:   s.rounds.Load(),
+		Busy:     time.Duration(s.busyNs.Load()),
+		First:    time.Duration(first),
+		Last:     time.Duration(s.lastNs.Load()),
+	}
+}
+
+// mergeShard folds a worker shard's counters into its node's profile:
+// counters and busy-time sum, the activity window widens.
+func mergeShard(np *NodeProfile, w NodeProfile) {
+	if w.Handled > 0 {
+		if np.Handled == 0 || w.First < np.First {
+			np.First = w.First
+		}
+		if w.Last > np.Last {
+			np.Last = w.Last
+		}
+	}
+	np.Msgs += w.Msgs
+	np.Protocol += w.Protocol
+	np.RowsOut += w.RowsOut
+	np.ReqRows += w.ReqRows
+	np.Handled += w.Handled
+	np.Derived += w.Derived
+	np.Stored += w.Stored
+	np.Dups += w.Dups
+	np.Joins += w.Joins
+	np.EDBScans += w.EDBScans
+	np.EDBRows += w.EDBRows
+	np.Rounds += w.Rounds
+	np.Busy += w.Busy
 }
 
 // Sites aggregates the snapshot by hosting site, in site order.

@@ -46,6 +46,11 @@ type Stats struct {
 	// warming.
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	// workers is a gauge, not a monotone counter: the total worker-shard
+	// goroutine count of the most recent evaluation's partition plan
+	// (engine.Options.Partitions), 0 when that evaluation ran unpartitioned.
+	workers atomic.Int64
 }
 
 // Counter increment hooks, one per event the engine reports.
@@ -81,6 +86,10 @@ func (s *Stats) FaultDrop()          { s.faultDrops.Add(1) }
 func (s *Stats) PlanHit()            { s.planHits.Add(1) }
 func (s *Stats) PlanMiss()           { s.planMisses.Add(1) }
 
+// SetWorkers records the worker-shard goroutine count of an evaluation's
+// partition plan (a gauge: the latest evaluation wins).
+func (s *Stats) SetWorkers(n int64) { s.workers.Store(n) }
+
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
 	RelReqs, TupReqs, Tuples, Ends, ReqEnds int64
@@ -103,6 +112,10 @@ type Snapshot struct {
 	// Plan-cache lookups: a hit reused a compiled rule/goal graph, a miss
 	// compiled a fresh one (see System.Query and engine.Plan).
 	PlanHits, PlanMisses int64
+	// Workers is a gauge: the worker-shard goroutine count of the most
+	// recent evaluation's partition plan (engine.Options.Partitions), 0
+	// when it ran unpartitioned.
+	Workers int64
 }
 
 // Snapshot reads every counter.
@@ -134,6 +147,7 @@ func (s *Stats) Snapshot() Snapshot {
 		FaultDrops:   s.faultDrops.Load(),
 		PlanHits:     s.planHits.Load(),
 		PlanMisses:   s.planMisses.Load(),
+		Workers:      s.workers.Load(),
 	}
 }
 
@@ -166,6 +180,9 @@ func (sn Snapshot) String() string {
 	}
 	if sn.PlanHits+sn.PlanMisses > 0 {
 		fmt.Fprintf(&b, " planhits=%d planmisses=%d", sn.PlanHits, sn.PlanMisses)
+	}
+	if sn.Workers > 0 {
+		fmt.Fprintf(&b, " workers=%d", sn.Workers)
 	}
 	return b.String()
 }

@@ -28,6 +28,7 @@ type Mailbox struct {
 	head    int
 	closed  bool
 	dropped atomic.Int64 // Puts after Close (late messages during shutdown)
+	busy    atomic.Bool  // raised by GetWork, cleared by ClearBusy
 }
 
 // NewMailbox returns an empty open mailbox.
@@ -77,6 +78,51 @@ func (m *Mailbox) Get() (x msg.Message, ok bool) {
 	return x, true
 }
 
+// GetWork is Get for owners whose activity is observed by another
+// goroutine (the worker shards of a partitioned node): the mailbox's busy
+// flag is raised atomically with the dequeue — under the same lock — and
+// stays up until ClearBusy. An observer that sees Quiet() therefore knows
+// the owner holds no dequeued-but-unfinished message: there is no window
+// in which a message is out of the queue but not yet flagged.
+func (m *Mailbox) GetWork() (x msg.Message, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head == len(m.queue) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head == len(m.queue) {
+		return msg.Message{}, false
+	}
+	x = m.queue[m.head]
+	m.queue[m.head] = msg.Message{}
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	} else if m.head > 64 && m.head*2 >= len(m.queue) {
+		n := copy(m.queue, m.queue[m.head:])
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
+	m.busy.Store(true)
+	return x, true
+}
+
+// ClearBusy lowers the busy flag; the owner calls it after finishing (and
+// flushing the output of) the message obtained by GetWork, so that once an
+// observer sees Quiet() every side effect of past messages has reached its
+// destination mailbox.
+func (m *Mailbox) ClearBusy() { m.busy.Store(false) }
+
+// Quiet reports whether the mailbox is empty AND its owner is not holding
+// a message dequeued via GetWork. This is the shard-worker half of the
+// partitioned empty_queues() test (see doc/PROTOCOL.md, "Shard routing").
+func (m *Mailbox) Quiet() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.head == len(m.queue) && !m.busy.Load()
+}
+
 // Empty reports whether the mailbox currently holds no messages. This is
 // the queue-emptiness half of the protocol's empty_queues() test.
 func (m *Mailbox) Empty() bool {
@@ -116,6 +162,7 @@ func (m *Mailbox) Reset() {
 	m.head = 0
 	m.closed = false
 	m.dropped.Store(0)
+	m.busy.Store(false)
 }
 
 // Network delivers messages to node processes by id. Implementations must
@@ -125,29 +172,76 @@ type Network interface {
 	Send(x msg.Message)
 }
 
-// Local is an in-process Network: one mailbox per node id.
+// Local is an in-process Network: one mailbox per node id, plus optional
+// per-shard worker mailboxes for hash-partitioned nodes (see Partition).
 type Local struct {
 	Boxes []*Mailbox
+	// shards[id] holds node id's worker mailboxes, or nil when the node is
+	// unpartitioned. Atomic pointers because Partition may race with a TCP
+	// read loop that is already delivering via Send (a remote site can start
+	// sending before the local RunSites call has set its partitions up; such
+	// early sharded messages fall through to the control mailbox, which
+	// re-routes them).
+	shards []atomic.Pointer[[]*Mailbox]
 }
 
 // NewLocal creates n mailboxes addressed 0..n-1.
 func NewLocal(n int) *Local {
-	l := &Local{Boxes: make([]*Mailbox, n)}
+	l := &Local{Boxes: make([]*Mailbox, n), shards: make([]atomic.Pointer[[]*Mailbox], n)}
 	for i := range l.Boxes {
 		l.Boxes[i] = NewMailbox()
 	}
 	return l
 }
 
-// Send enqueues the message into the recipient's mailbox.
+// Partition equips node id with p worker mailboxes (idempotent for equal
+// p) and returns them. The caller is the engine during evaluation setup;
+// shard boxes participate in Close, Dropped, and message fan-out.
+func (l *Local) Partition(id, p int) []*Mailbox {
+	if sb := l.shards[id].Load(); sb != nil && len(*sb) == p {
+		return *sb
+	}
+	boxes := make([]*Mailbox, p)
+	for i := range boxes {
+		boxes[i] = NewMailbox()
+	}
+	l.shards[id].Store(&boxes)
+	return boxes
+}
+
+// ShardBoxes returns node id's worker mailboxes, or nil.
+func (l *Local) ShardBoxes(id int) []*Mailbox {
+	if sb := l.shards[id].Load(); sb != nil {
+		return *sb
+	}
+	return nil
+}
+
+// Send enqueues the message into the recipient's mailbox: the worker shard
+// named by x.Shard when the node is partitioned, the control mailbox
+// otherwise (including sharded messages that arrive before Partition — the
+// control process re-routes those).
 func (l *Local) Send(x msg.Message) {
+	if x.Shard > 0 {
+		if sb := l.shards[x.To].Load(); sb != nil && int(x.Shard) <= len(*sb) {
+			(*sb)[x.Shard-1].Put(x)
+			return
+		}
+	}
 	l.Boxes[x.To].Put(x)
 }
 
-// Close closes every mailbox.
+// Close closes every mailbox, shard boxes included.
 func (l *Local) Close() {
 	for _, b := range l.Boxes {
 		b.Close()
+	}
+	for i := range l.shards {
+		if sb := l.shards[i].Load(); sb != nil {
+			for _, b := range *sb {
+				b.Close()
+			}
+		}
 	}
 }
 
@@ -156,6 +250,13 @@ func (l *Local) Dropped() int64 {
 	var n int64
 	for _, b := range l.Boxes {
 		n += b.Dropped()
+	}
+	for i := range l.shards {
+		if sb := l.shards[i].Load(); sb != nil {
+			for _, b := range *sb {
+				n += b.Dropped()
+			}
+		}
 	}
 	return n
 }

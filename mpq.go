@@ -197,6 +197,7 @@ type config struct {
 	cancel       <-chan struct{}
 	profile      *trace.Profile
 	events       *trace.EventLog
+	partitions   int
 }
 
 // Option adjusts one evaluation.
@@ -239,6 +240,13 @@ func WithStats(st *trace.Stats) Option { return func(c *config) { c.stats = st }
 // generated while handling one message are packaged into a single message
 // per destination. Answers are unchanged; message counts drop.
 func WithBatching() Option { return func(c *config) { c.batch = true } }
+
+// WithPartitions splits every partitionable rule and IDB goal node into n
+// hash-partitioned worker shards (engine.Options.Partitions), parallelizing
+// hot node processes across cores. Answers are identical at any setting; 0
+// or 1 keeps the one-goroutine-per-node behavior. MessagePassing engine
+// only; the setting keys the plan cache alongside strategy and shape.
+func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
 
 // WithTrace logs every message the engine sends to w, one line each —
 // a debugging and teaching aid. MessagePassing engine only.
@@ -306,7 +314,8 @@ func (c *config) evalContext() (context.Context, context.CancelFunc) {
 // stays unset).
 func (c *config) engineOptions(ctx context.Context) engine.Options {
 	return engine.Options{Stats: c.stats, Batch: c.batch, Trace: c.trace,
-		Cancel: ctx.Done(), Profile: c.profile, Events: c.events}
+		Cancel: ctx.Done(), Profile: c.profile, Events: c.events,
+		Partitions: c.partitions}
 }
 
 // ctxDone returns the context's cancellation channel, tolerating nil (the

@@ -40,7 +40,12 @@ type PreparedQuery struct {
 	defaults []string     // source-text constants: the bindings Eval() uses with no args
 	nout     int          // answer columns (parameters are projected away)
 	batch    bool
-	stats    *trace.Stats // Prepare-time WithStats accumulator, nil for per-call stats
+	// partitions is the WithPartitions setting the plan serves. It is part
+	// of the plan-cache key: engine.Plan pools per-run scratch whose worker
+	// wiring is structural, so plans for different partition counts must
+	// not alias.
+	partitions int
+	stats      *trace.Stats // Prepare-time WithStats accumulator, nil for per-call stats
 }
 
 // parsedQuery is the outcome of canonicalizing one query's source text.
@@ -202,7 +207,8 @@ func (s *System) prepare(q *parsedQuery, cfg *config) (*PreparedQuery, error) {
 	plan := engine.NewPlan(g, s.DB) // warms every index the graph probes, once
 	s.mu.Unlock()
 	return &PreparedQuery{sys: s, plan: plan, strategy: normStrategy(cfg.strategyName),
-		shape: q.shape, defaults: q.consts, nout: nout, batch: cfg.batch, stats: cfg.stats}, nil
+		shape: q.shape, defaults: q.consts, nout: nout, batch: cfg.batch,
+		partitions: cfg.partitions, stats: cfg.stats}, nil
 }
 
 // NumParams reports how many constants the query text contained — the
@@ -260,7 +266,8 @@ func (pq *PreparedQuery) evalWith(ctx context.Context, args []string, stats *tra
 	if err != nil {
 		return nil, err
 	}
-	res, err := pq.plan.Run(engine.Options{Stats: stats, Batch: batch, Bind: bind, Cancel: ctxDone(ctx)})
+	res, err := pq.plan.Run(engine.Options{Stats: stats, Batch: batch, Bind: bind,
+		Cancel: ctxDone(ctx), Partitions: pq.partitions})
 	if err != nil {
 		return nil, engineError(err, ctx)
 	}
@@ -290,7 +297,8 @@ func (pq *PreparedQuery) Answers(ctx context.Context, args ...string) iter.Seq2[
 			return
 		}
 		stopped := false
-		_, err = pq.plan.RunStream(engine.Options{Stats: pq.stats, Batch: pq.batch, Bind: bind, Cancel: ctxDone(ctx)},
+		_, err = pq.plan.RunStream(engine.Options{Stats: pq.stats, Batch: pq.batch, Bind: bind,
+			Cancel: ctxDone(ctx), Partitions: pq.partitions},
 			func(t relation.Tuple) bool {
 				row := make([]string, pq.nout)
 				for i := 0; i < pq.nout; i++ {
@@ -401,7 +409,9 @@ func (s *System) queryPrepared(src string, cfg *config) (*PreparedQuery, []strin
 	if err != nil {
 		return nil, nil, false, err
 	}
-	key := normStrategy(cfg.strategyName) + "\x00" + q.shape
+	// The key includes the partition count: a plan's pooled scratch is
+	// built for one worker-shard wiring (see PreparedQuery.partitions).
+	key := fmt.Sprintf("%s\x00%d\x00%s", normStrategy(cfg.strategyName), cfg.partitions, q.shape)
 	if pq := s.plans.get(key); pq != nil {
 		if cfg.stats != nil {
 			cfg.stats.PlanHit()

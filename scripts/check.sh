@@ -30,3 +30,7 @@ if [ "${1:-}" = "chaos" ]; then
 	exit 0
 fi
 go test -race "$@" ./...
+# Partitioned evaluation exercises real parallelism: re-run the engine
+# suite pinned to one CPU and spread over four, so worker-shard schedules
+# that only misbehave at a particular GOMAXPROCS still surface.
+go test -race -cpu=1,4 "$@" ./internal/engine/
