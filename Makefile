@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-short chaos docs bench
+.PHONY: build test check check-short chaos docs gate bench
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ chaos:
 # Documentation gate only: intra-repo markdown links resolve + go vet.
 docs:
 	./scripts/check.sh docs
+
+# Perf-regression release gate: re-measure the committed BENCH_4/5/6
+# headline ratios on this tree, nonzero exit past the noise floor.
+gate:
+	./scripts/check.sh gate
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1s .

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	bench [-e E1,E7,A1,...|all] [-quick] [-json out.json]
+//	bench -gate    # perf-regression release gate vs committed BENCH_*.json
 package main
 
 import (
@@ -63,14 +64,15 @@ var experiments = map[string]func(quick bool){
 	"A5":  a5Observability,
 	"A6":  a6Prepared,
 	"A7":  a7Partitions,
+	"A8":  a8Serving,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
 // "after" half of BENCH_1.json), A4 its failure-handling overhead
 // record (BENCH_2.json), A5 its observability overhead record
 // (BENCH_3.json), A6 its prepared-query serving record (BENCH_4.json),
-// and A7 its partitioned-parallelism record (BENCH_5.json) to the named
-// file.
+// A7 its partitioned-parallelism record (BENCH_5.json), and A8 its
+// multi-tenant serving record (BENCH_6.json) to the named file.
 var jsonOut string
 
 // machineInfo is the header every BENCH_*.json record carries, so perf
@@ -102,8 +104,13 @@ func gitRevision() string {
 func main() {
 	which := flag.String("e", "all", "comma-separated experiment ids (E1..E11) or all")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	gate := flag.Bool("gate", false, "run the perf-regression release gate against the committed BENCH_*.json records; nonzero exit on regression")
 	flag.StringVar(&jsonOut, "json", "", "write A3 substrate measurements as JSON to this file")
 	flag.Parse()
+
+	if *gate {
+		os.Exit(runGate())
+	}
 
 	var ids []string
 	if *which == "all" {

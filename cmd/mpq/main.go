@@ -70,6 +70,7 @@ func main() {
 	partitions := flag.Int("partitions", 0, "hash-partitioned worker shards per node process (message-passing engine; 0 = GOMAXPROCS, 1 = sequential)")
 	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
 	connect := flag.String("connect", "", "client mode: send queries to an `mpqd -serve` address instead of evaluating locally")
+	tenant := flag.String("tenant", "", "-connect: admission tenant name for fair queueing and quotas (default tenant when empty)")
 	var data dataFlags
 	flag.Var(&data, "data", "load pred=file.csv facts (repeatable)")
 	flag.Usage = func() {
@@ -79,7 +80,7 @@ func main() {
 	flag.Parse()
 
 	if *connect != "" {
-		if err := runClient(*connect, flag.Args(), *stats); err != nil {
+		if err := runClient(*connect, *tenant, flag.Args(), *stats); err != nil {
 			fatal(err)
 		}
 		return
@@ -155,13 +156,20 @@ func main() {
 // runClient is `mpq -connect ADDR`: it sends each argument as one query to
 // an `mpqd -serve` instance over the line protocol (doc/PROTOCOL.md) and
 // renders the streamed answers exactly like a local evaluation. With no
-// arguments, queries are read from stdin, one per line.
-func runClient(addr string, queries []string, stats bool) error {
+// arguments, queries are read from stdin, one per line. A nonempty tenant
+// is announced first with a "tenant NAME" line, placing the connection's
+// queries under that tenant's admission quota and queue.
+func runClient(addr, tenant string, queries []string, stats bool) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	if tenant != "" {
+		if _, err := fmt.Fprintf(conn, "tenant %s\n", tenant); err != nil {
+			return err
+		}
+	}
 	resp := bufio.NewScanner(conn)
 	resp.Buffer(make([]byte, 0, 64*1024), 1<<20)
 

@@ -19,10 +19,17 @@
 // server: it loads the program once and answers `?- body.` queries sent
 // over a newline-delimited protocol (see internal/serve and
 // doc/PROTOCOL.md), reusing compiled plans across queries through the plan
-// cache and admitting at most -max-concurrent evaluations at a time
-// (excess queries queue, bounded by -deadline). The diagnostics mux also
-// accepts queries on POST /query. `mpq -connect ADDR` is the matching
-// client:
+// cache. Admission is multi-tenant (clients name their tenant with a
+// "tenant NAME" line or the X-Mpq-Tenant header): -max-concurrent
+// evaluations run at once, -tenant-quota caps any one tenant's share,
+// excess requests wait in bounded per-tenant queues drained fairly, and
+// requests past -queue-depth are shed immediately with a typed overload
+// error. A -result-cache LRU in front of evaluation replays repeated
+// (query, constants) answers until any new fact invalidates them. SIGINT
+// or SIGTERM drains gracefully: stop accepting, finish in-flight queries
+// for up to -drain-timeout, then abort the stragglers. The diagnostics
+// mux also accepts queries on POST /query. `mpq -connect ADDR` is the
+// matching client:
 //
 //	mpqd -program rules.dl -serve :7700 -max-concurrent 8 &
 //	mpq -connect :7700 '?- path(a, Y).'
@@ -35,13 +42,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -68,14 +78,32 @@ func main() {
 	profile := flag.Bool("profile", false, "print a per-node profile report for this site's partition after the query")
 	profileTop := flag.Int("profile-top", 5, "how many nodes each -profile top-K table shows")
 	serveAddr := flag.String("serve", "", "single-site serving mode: accept queries on this address over the line protocol (see doc/PROTOCOL.md) instead of evaluating once")
-	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "-serve: how many queries evaluate at once (excess queries queue)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "-serve: how many queries evaluate at once (0 = GOMAXPROCS; excess queries queue per tenant)")
+	tenantQuota := flag.Int("tenant-quota", 0, "-serve: cap one tenant's share of -max-concurrent (0 = no per-tenant cap)")
+	queueDepth := flag.Int("queue-depth", 0, "-serve: bound each tenant's admission queue (0 = default; beyond it requests are shed)")
+	resultCache := flag.Int("result-cache", 0, "-serve: result-cache entries (0 = default, negative disables)")
+	sloObjective := flag.Duration("slo", 0, "-serve: end-to-end latency objective feeding the SLO burn-rate gauge (0 = off)")
+	sloTarget := flag.Float64("slo-target", 0.99, "-serve: fraction of requests that should meet -slo")
+	sloWindow := flag.Duration("slo-window", time.Minute, "-serve: sliding window for the burn-rate gauge")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "-serve: how long SIGINT/SIGTERM lets in-flight queries finish before aborting them")
 	batch := flag.Bool("batch", false, "-serve: evaluate with footnote-2 request batching")
 	partitions := flag.Int("partitions", 0, "hash-partitioned worker shards per node process (-serve: 0 = GOMAXPROCS; multi-site: must be set identically on every site, 0 = sequential)")
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *programPath, *strategy, *batch, *maxConcurrent,
-			resolvePartitions(*partitions), *deadline, *metricsAddr)
+		runServe(*serveAddr, *programPath, *metricsAddr, *drainTimeout, serve.Config{
+			Strategy:        *strategy,
+			Batch:           *batch,
+			Partitions:      resolvePartitions(*partitions),
+			MaxConcurrent:   *maxConcurrent,
+			Quota:           *tenantQuota,
+			QueueDepth:      *queueDepth,
+			ResultCacheSize: *resultCache,
+			SLOObjective:    *sloObjective,
+			SLOTarget:       *sloTarget,
+			SLOWindow:       *sloWindow,
+			Timeout:         *deadline,
+		})
 		return
 	}
 
@@ -169,8 +197,12 @@ func main() {
 	// count), and senders stamp shard routes for remote nodes too, so every
 	// site must run the same count. GOMAXPROCS can differ across machines —
 	// no auto here; the flag must be set explicitly (and identically).
+	// SIGINT/SIGTERM cancel the evaluation (it aborts with ErrCancelled)
+	// instead of killing the process mid-protocol.
+	sig, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 	opts := engine.Options{Stats: st, Deadline: *deadline, PeerDown: down,
-		Partitions: *partitions}
+		Partitions: *partitions, Cancel: sig.Done()}
 	var prof *trace.Profile
 	if *profile {
 		prof = trace.NewProfile()
@@ -210,10 +242,12 @@ func main() {
 }
 
 // runServe is the long-lived single-site mode: load the program once,
-// answer queries over the line protocol until killed, reusing compiled
-// plans across queries and connections. The diagnostics mux additionally
-// gains POST /query.
-func runServe(addr, programPath, strategy string, batch bool, maxConcurrent, partitions int, deadline time.Duration, metricsAddr string) {
+// answer queries over the line protocol until SIGINT/SIGTERM, reusing
+// compiled plans across queries and connections. The diagnostics mux
+// additionally gains POST /query. On a signal the server drains: new
+// work is rejected, in-flight queries get drainTimeout to finish, then
+// the rest are aborted with mpq.ErrCancelled.
+func runServe(addr, programPath, metricsAddr string, drainTimeout time.Duration, cfg serve.Config) {
 	if programPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -serve ADDR [-max-concurrent N] [-deadline D] [-metrics ADDR]")
 		os.Exit(2)
@@ -222,23 +256,18 @@ func runServe(addr, programPath, strategy string, batch bool, maxConcurrent, par
 	if err != nil {
 		fatal(err)
 	}
-	srv := serve.New(sys, serve.Config{
-		Strategy:      strategy,
-		Batch:         batch,
-		Partitions:    partitions,
-		MaxConcurrent: maxConcurrent,
-		Timeout:       deadline,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "mpqd: "+format+"\n", args...)
-		},
-	})
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mpqd: "+format+"\n", args...)
+	}
+	srv := serve.New(sys, cfg)
+	var metricsSrv *http.Server
 	if metricsAddr != "" {
 		mux := export.DiagnosticsMux(srv.Stats().Snapshot)
 		mux.Handle("/query", srv.Handler())
+		metricsSrv = &http.Server{Addr: metricsAddr, Handler: mux}
 		go func() {
 			fmt.Fprintf(os.Stderr, "mpqd: diagnostics on http://%s/metrics, queries on POST /query\n", metricsAddr)
-			hs := &http.Server{Addr: metricsAddr, Handler: mux}
-			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "mpqd: metrics server: %v\n", err)
 			}
 		}()
@@ -247,9 +276,30 @@ func runServe(addr, programPath, strategy string, batch bool, maxConcurrent, par
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "mpqd: serving %s on %s (max-concurrent %d)\n", programPath, ln.Addr(), maxConcurrent)
-	if err := srv.Serve(ln); err != nil {
-		fatal(err)
+	sig, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "mpqd: serving %s on %s\n", programPath, ln.Addr())
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case <-sig.Done():
+		fmt.Fprintf(os.Stderr, "mpqd: signal received, draining for up to %v\n", drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mpqd: drain deadline hit, in-flight queries aborted\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "mpqd: drained cleanly\n")
+		}
+		if metricsSrv != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+			metricsSrv.Shutdown(sctx)
+			scancel()
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
@@ -26,6 +27,9 @@ import (
 type Database struct {
 	Syms *symtab.Table
 	rels map[ast.PredKey]*relation.Relation
+	// version counts successful mutations. Serving layers key cached
+	// query results on it so any AddFact/Add/LoadRows invalidates them.
+	version atomic.Uint64
 }
 
 // New returns an empty database with a fresh symbol table.
@@ -52,7 +56,11 @@ func (db *Database) AddFact(a ast.Atom) bool {
 		}
 		t[i] = db.Syms.Intern(arg.Const)
 	}
-	return db.rel(a.Key()).Insert(t)
+	if db.rel(a.Key()).Insert(t) {
+		db.version.Add(1)
+		return true
+	}
+	return false
 }
 
 // Add inserts the fact pred(args...) given as raw strings and reports
@@ -63,7 +71,18 @@ func (db *Database) Add(pred string, args ...string) bool {
 	for i, s := range args {
 		t[i] = db.Syms.Intern(s)
 	}
-	return db.rel(ast.PredKey{Name: pred, Arity: len(args)}).Insert(t)
+	if db.rel(ast.PredKey{Name: pred, Arity: len(args)}).Insert(t) {
+		db.version.Add(1)
+		return true
+	}
+	return false
+}
+
+// Version returns a counter that increases on every successful mutation.
+// Two reads returning the same value bracket a window with no new facts,
+// which is what result caches key on to stay fresh.
+func (db *Database) Version() uint64 {
+	return db.version.Load()
 }
 
 func (db *Database) rel(key ast.PredKey) *relation.Relation {

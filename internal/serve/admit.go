@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the typed load-shedding error: the request was rejected
+// by admission (tenant queue full, estimated wait past the deadline, or
+// the deadline expired while queued) without evaluating anything. Clients
+// should treat it as retryable with backoff; errors.Is matches through the
+// wrapping done by acquire.
+var ErrOverloaded = errors.New("server overloaded")
+
+// ErrShuttingDown rejects work that arrives after Shutdown began.
+var ErrShuttingDown = errors.New("server shutting down")
+
+// admitter is the serving layer's admission controller: at most max
+// queries evaluate at once, each tenant holds at most quota of those
+// slots, and waiting requests sit in bounded per-tenant FIFO queues
+// drained by deficit-round-robin — so a tenant flooding the server can
+// fill only its own queue, and free slots rotate across tenants in
+// proportion to their weights instead of arrival order.
+type admitter struct {
+	max     int            // total concurrent evaluations
+	quota   int            // per-tenant concurrent evaluations
+	depth   int            // per-tenant queue bound (beyond this: shed)
+	weights map[string]int // tenant weight, default 1
+
+	// avgEvalNs is an EWMA of recent evaluation times, the basis of the
+	// estimated-wait shed: rejecting a request that cannot plausibly meet
+	// its deadline is kinder than queueing it to die.
+	avgEvalNs atomic.Int64
+
+	mu      sync.Mutex
+	free    int // unheld evaluation slots
+	queued  int // waiters across all tenant queues
+	cursor  int // DRR scan start in ring
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // insertion-ordered; scanned round-robin
+	closed  bool
+}
+
+// tenantQ is one tenant's admission state. DRR: each scan visit adds
+// weight to deficit; one admission costs one unit, so relative weights
+// set relative drain rates under contention.
+type tenantQ struct {
+	name     string
+	weight   int
+	deficit  int
+	inflight int
+	q        []*waiter
+}
+
+// waiter is one queued request. admitted is written under the admitter
+// lock before ready is closed, and read by the waiting goroutine only
+// after receiving from ready (or under the lock), so it needs no atomic.
+type waiter struct {
+	tq       *tenantQ
+	ready    chan struct{}
+	admitted bool
+}
+
+func newAdmitter(max, quota, depth int, weights map[string]int) *admitter {
+	if max <= 0 {
+		max = DefaultMaxConcurrent()
+	}
+	if quota <= 0 || quota > max {
+		quota = max
+	}
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	w := make(map[string]int, len(weights))
+	for k, v := range weights {
+		if v > 0 {
+			w[k] = v
+		}
+	}
+	return &admitter{max: max, quota: quota, depth: depth, weights: w,
+		free: max, tenants: make(map[string]*tenantQ)}
+}
+
+func (a *admitter) tenantLocked(name string) *tenantQ {
+	tq, ok := a.tenants[name]
+	if !ok {
+		weight := a.weights[name]
+		if weight <= 0 {
+			weight = 1
+		}
+		tq = &tenantQ{name: name, weight: weight}
+		a.tenants[name] = tq
+		a.ring = append(a.ring, tq)
+	}
+	return tq
+}
+
+// estWaitLocked estimates how long a new waiter for tq will queue: the
+// EWMA evaluation time, scaled by how many service completions must
+// happen before its turn. Zero until the first completion seeds the EWMA
+// (never shed on a guess we haven't earned).
+func (a *admitter) estWaitLocked(tq *tenantQ) time.Duration {
+	avg := a.avgEvalNs.Load()
+	if avg == 0 {
+		return 0
+	}
+	// Completions needed: everything already queued ahead plus this
+	// request, served max-at-a-time.
+	turns := (a.queued + a.max) / a.max
+	return time.Duration(avg * int64(turns))
+}
+
+// acquire blocks until the tenant holds an evaluation slot, the context
+// ends, or the request is shed. A nil error means the caller MUST call
+// release exactly once when its evaluation finishes.
+func (a *admitter) acquire(ctx context.Context, tenant string) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrShuttingDown
+	}
+	tq := a.tenantLocked(tenant)
+	// Fast path: nothing queued anywhere and this tenant is under quota.
+	if a.queued == 0 && a.free > 0 && tq.inflight < a.quota {
+		a.free--
+		tq.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	// Shed rather than queue when the queue is full or the wait estimate
+	// already exceeds the request's deadline.
+	if len(tq.q) >= a.depth {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q queue full (%d waiting)", ErrOverloaded, tenant, a.depth)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.estWaitLocked(tq); est > 0 && time.Until(dl) < est {
+			a.mu.Unlock()
+			return fmt.Errorf("%w: estimated wait %v exceeds request deadline", ErrOverloaded, est.Round(time.Millisecond))
+		}
+	}
+	w := &waiter{tq: tq, ready: make(chan struct{})}
+	tq.q = append(tq.q, w)
+	a.queued++
+	// A slot can be free even with waiters queued — every queued tenant may
+	// be at quota. Dispatch now so this request (under quota, or queued
+	// behind quota-capped tenants) never waits on an idle slot until the
+	// next release happens to run.
+	if a.free > 0 {
+		a.dispatchLocked()
+	}
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.admitted {
+			return nil
+		}
+		return ErrShuttingDown
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.admitted {
+			// Dispatched concurrently with the context ending; the slot is
+			// ours, and the evaluation will see the dead context immediately.
+			a.mu.Unlock()
+			return nil
+		}
+		for i, x := range tq.q {
+			if x == w {
+				tq.q = append(tq.q[:i], tq.q[i+1:]...)
+				break
+			}
+		}
+		a.queued--
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrOverloaded, context.Cause(ctx))
+	}
+}
+
+// release returns the tenant's slot, folds the evaluation time into the
+// wait-estimate EWMA, and dispatches queued waiters.
+func (a *admitter) release(tenant string, eval time.Duration) {
+	if eval > 0 {
+		old := a.avgEvalNs.Load()
+		if old == 0 {
+			a.avgEvalNs.Store(int64(eval))
+		} else {
+			a.avgEvalNs.Store(old + (int64(eval)-old)/8)
+		}
+	}
+	a.mu.Lock()
+	if tq, ok := a.tenants[tenant]; ok {
+		tq.inflight--
+	}
+	a.free++
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked hands free slots to queued waiters by deficit round
+// robin: scan tenants from cursor, top up each backlogged tenant's
+// deficit by its weight, admit while deficit and quota allow. An empty
+// queue zeroes the deficit (no credit banking while idle — standard DRR).
+func (a *admitter) dispatchLocked() {
+	n := len(a.ring)
+	for a.free > 0 && a.queued > 0 {
+		progressed := false
+		for i := 0; i < n && a.free > 0; i++ {
+			tq := a.ring[(a.cursor+i)%n]
+			if len(tq.q) == 0 {
+				tq.deficit = 0
+				continue
+			}
+			if tq.inflight >= a.quota {
+				continue
+			}
+			tq.deficit += tq.weight
+			for tq.deficit >= 1 && len(tq.q) > 0 && a.free > 0 && tq.inflight < a.quota {
+				w := tq.q[0]
+				tq.q = tq.q[1:]
+				a.queued--
+				tq.deficit--
+				tq.inflight++
+				a.free--
+				w.admitted = true
+				close(w.ready)
+				progressed = true
+			}
+		}
+		a.cursor = (a.cursor + 1) % n
+		if !progressed {
+			return // every backlogged tenant is at quota
+		}
+	}
+}
+
+// close fails every queued waiter with ErrShuttingDown and rejects all
+// future acquires. In-flight holders still release normally.
+func (a *admitter) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, tq := range a.ring {
+		for _, w := range tq.q {
+			close(w.ready) // admitted stays false → ErrShuttingDown
+		}
+		tq.q = nil
+	}
+	a.queued = 0
+}

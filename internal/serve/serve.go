@@ -5,10 +5,16 @@
 // graph and pooled engine scratch — see doc/PROTOCOL.md, "Plan reuse").
 //
 // Queries arrive over a newline-delimited TCP protocol and over POST
-// /query on the diagnostics mux. Admission is a counting semaphore:
-// MaxConcurrent queries evaluate at once, the rest queue; each query's
-// deadline covers its time in the queue plus its evaluation, so overload
-// degrades into fast deadline errors instead of unbounded latency.
+// /query on the diagnostics mux. Admission is multi-tenant and fair:
+// MaxConcurrent queries evaluate at once, each tenant holds at most Quota
+// of those slots, and excess requests wait in a bounded per-tenant queue
+// drained by deficit-round-robin (see admitter). When a tenant's queue is
+// full, or the estimated wait already exceeds the request's deadline, the
+// request is shed immediately with the typed ErrOverloaded — overload
+// degrades into fast rejections, never unbounded latency. In front of
+// admission sits a versioned result cache (see resultCache): an LRU keyed
+// by (plan, constants, EDB version) whose hits replay recorded answers
+// byte-for-byte without evaluating or occupying a slot.
 //
 // # Line protocol
 //
@@ -16,7 +22,9 @@
 //
 //	?- path(a, Y).
 //
-// The server streams the response for each query, in order:
+// A line "tenant NAME" switches the connection's admission tenant (no
+// response; connections start as the default tenant). The server streams
+// the response for each query, in order:
 //
 //	T <v1>\t<v2>...    one line per answer tuple, in derivation order
 //	                   (a bare "T" is the empty tuple of a ground query)
@@ -35,6 +43,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -55,15 +64,43 @@ type Config struct {
 	// mpq.WithPartitions). It keys the plan cache alongside Strategy and
 	// query shape; <2 means sequential.
 	Partitions int
+	// EDBDelay charges every EDB-leaf retrieval a simulated latency (see
+	// mpq.WithEDBDelay) — the E12/A7 methodology for modelling disk or
+	// remote-store access. The A8 bench uses it to keep serving
+	// measurements latency-bound; production servers leave it zero.
+	EDBDelay time.Duration
 	// MaxConcurrent is the admission limit: how many queries may evaluate
-	// simultaneously (<=0 means DefaultMaxConcurrent). Excess queries
-	// queue, still subject to Timeout.
+	// simultaneously (<=0 means DefaultMaxConcurrent, i.e. GOMAXPROCS).
+	// Excess queries wait in bounded per-tenant queues.
 	MaxConcurrent int
+	// Quota caps one tenant's share of MaxConcurrent (<=0 means no
+	// per-tenant cap below MaxConcurrent itself).
+	Quota int
+	// QueueDepth bounds each tenant's admission queue (<=0 means
+	// DefaultQueueDepth). Requests arriving past the bound are shed with
+	// ErrOverloaded.
+	QueueDepth int
+	// TenantWeights sets deficit-round-robin weights for named tenants;
+	// unlisted tenants weigh 1. A weight-2 tenant drains twice as fast
+	// under contention.
+	TenantWeights map[string]int
+	// ResultCacheSize is the result-cache entry bound: 0 means
+	// DefaultResultCacheSize, negative disables the cache entirely.
+	ResultCacheSize int
+	// SLOObjective, when positive, classifies each request against this
+	// end-to-end latency objective, feeding the mpq_slo_requests_total
+	// counters and the mpq_slo_burn_rate gauge.
+	SLOObjective time.Duration
+	// SLOTarget is the objective's good-fraction target (0 means 0.99).
+	SLOTarget float64
+	// SLOWindow is the burn-rate sliding window (0 means one minute).
+	SLOWindow time.Duration
 	// Timeout bounds each query's queueing plus evaluation time
 	// (0 = unbounded).
 	Timeout time.Duration
-	// Stats receives every evaluation's counters and the plan-cache
-	// hit/miss counters — point the diagnostics mux's /metrics at it.
+	// Stats receives every evaluation's counters, the plan-cache and
+	// result-cache outcomes, shed counts, and the serving latency
+	// histograms — point the diagnostics mux's /metrics at it.
 	// Nil allocates a private accumulator.
 	Stats *trace.Stats
 	// Logf, when set, receives one line per served query.
@@ -71,38 +108,66 @@ type Config struct {
 }
 
 // DefaultMaxConcurrent is the admission limit when Config leaves
-// MaxConcurrent unset.
-const DefaultMaxConcurrent = 4
+// MaxConcurrent unset: one evaluation per available CPU, since a single
+// evaluation saturates one core (and more with Partitions).
+func DefaultMaxConcurrent() int { return runtime.GOMAXPROCS(0) }
+
+// DefaultQueueDepth bounds each tenant's admission queue when Config
+// leaves QueueDepth unset.
+const DefaultQueueDepth = 64
+
+// DefaultResultCacheSize is the result-cache entry bound when Config
+// leaves ResultCacheSize at zero.
+const DefaultResultCacheSize = 1024
+
+// DefaultTenant is the admission tenant for requests that name none.
+const DefaultTenant = "default"
 
 // Server serves queries against one System. Create with New; it is ready
 // immediately and safe for concurrent use.
 type Server struct {
-	sys    *mpq.System
-	cfg    Config
-	sem    chan struct{}
-	closed chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup // live connections
+	sys   *mpq.System
+	cfg   Config
+	adm   *admitter
+	cache *resultCache // nil when disabled
+	slo   *sloTracker  // nil when no objective configured
+
+	closed   chan struct{}      // closed when Shutdown/Close begins
+	stop     context.Context    // cancelled to abort in-flight evaluations
+	stopEval context.CancelFunc
+	once     sync.Once
+	wg       sync.WaitGroup // live connections
 
 	mu        sync.Mutex
+	draining  bool
+	inflight  sync.WaitGroup // queries past beginQuery (guarded by mu+draining)
 	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
 }
 
 // New wraps sys in a Server with cfg's policies.
 func New(sys *mpq.System, cfg Config) *Server {
-	if cfg.MaxConcurrent <= 0 {
-		cfg.MaxConcurrent = DefaultMaxConcurrent
-	}
 	if cfg.Stats == nil {
 		cfg.Stats = &trace.Stats{}
 	}
-	return &Server{
+	s := &Server{
 		sys:       sys,
 		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		adm:       newAdmitter(cfg.MaxConcurrent, cfg.Quota, cfg.QueueDepth, cfg.TenantWeights),
 		closed:    make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
 	}
+	s.stop, s.stopEval = context.WithCancel(context.Background())
+	if cfg.ResultCacheSize >= 0 {
+		size := cfg.ResultCacheSize
+		if size == 0 {
+			size = DefaultResultCacheSize
+		}
+		s.cache = newResultCache(size)
+	}
+	s.slo = newSLO(cfg.SLOObjective, cfg.SLOTarget, cfg.SLOWindow, cfg.Stats)
+	return s
 }
 
 // Stats returns the accumulator every query's counters feed (the one to
@@ -126,29 +191,89 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
 }
 
-// Close stops accepting, closes every listener, and waits for in-flight
-// connections to finish their current query.
-func (s *Server) Close() error {
+// beginQuery registers one in-flight query unless the server is
+// draining. Every true return must be paired with endQuery.
+func (s *Server) beginQuery() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endQuery() { s.inflight.Done() }
+
+// Shutdown gracefully stops the server: stop accepting, fail queued
+// admissions with ErrShuttingDown, let in-flight queries drain until ctx
+// ends, then abort the stragglers (their evaluations fail with
+// mpq.ErrCancelled) and close every connection. It returns ctx.Err() if
+// the drain deadline forced aborts, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.once.Do(func() { close(s.closed) })
 	s.mu.Lock()
+	s.draining = true
 	for ln := range s.listeners {
 		ln.Close()
 	}
 	clear(s.listeners)
 	s.mu.Unlock()
+	s.adm.close()
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.stopEval() // abort in-flight evaluations
+		<-done
+		err = ctx.Err()
+	}
+	s.stopEval()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	clear(s.conns)
+	s.mu.Unlock()
 	s.wg.Wait()
+	return err
+}
+
+// Close stops the server immediately: like Shutdown with an expired
+// drain deadline, aborting any in-flight evaluations.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
 	return nil
 }
 
 // handle runs one connection's query loop.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	tenant := DefaultTenant
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -160,8 +285,22 @@ func (s *Server) handle(conn net.Conn) {
 		case "quit":
 			return
 		}
-		s.serveLine(line, w)
-		if w.Flush() != nil {
+		if name, ok := strings.CutPrefix(line, "tenant "); ok {
+			tenant = strings.TrimSpace(name)
+			if tenant == "" {
+				tenant = DefaultTenant
+			}
+			continue
+		}
+		if !s.beginQuery() {
+			fmt.Fprintf(w, "E %s\n", ErrShuttingDown)
+			w.Flush()
+			return
+		}
+		s.serveLine(tenant, line, w)
+		ferr := w.Flush()
+		s.endQuery()
+		if ferr != nil {
 			return
 		}
 		select {
@@ -173,9 +312,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // serveLine evaluates one protocol line and writes its full response.
-func (s *Server) serveLine(src string, w io.Writer) {
+func (s *Server) serveLine(tenant, src string, w io.Writer) {
 	n := 0
-	reused, err := s.run(context.Background(), src, func(tuple []string) {
+	reused, _, err := s.run(context.Background(), tenant, src, func(tuple []string) {
 		if len(tuple) == 0 {
 			fmt.Fprintf(w, "T\n")
 		} else {
@@ -197,59 +336,108 @@ func planWord(reused bool) string {
 	return "miss"
 }
 
-// errOverload is returned when a query's deadline expires while it is
-// still queued behind MaxConcurrent running queries.
-var errOverload = errors.New("queued past deadline (server at -max-concurrent)")
-
-// run resolves src through the plan cache and streams its answers to emit
-// under the server's admission and deadline policies.
-func (s *Server) run(ctx context.Context, src string, emit func(tuple []string)) (reused bool, err error) {
-	start := time.Now()
-	if s.cfg.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
-		defer cancel()
-	}
-	// Admission: the deadline keeps ticking while queued.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return false, fmt.Errorf("%w: %w", errOverload, ctx.Err())
-	case <-s.closed:
-		return false, errors.New("server shutting down")
-	}
-	defer func() { <-s.sem }()
-
-	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(s.cfg.Stats)}
+// run serves one query under the server's full policy stack: plan-cache
+// resolution, result-cache lookup (a hit replays recorded answers and
+// touches neither admission nor the engine), fair admission with
+// shedding, then a streamed evaluation whose exact emissions populate
+// the cache. cached reports a result-cache hit.
+func (s *Server) run(ctx context.Context, tenant, src string, emit func(tuple []string)) (reused, cached bool, err error) {
+	t0 := time.Now()
+	stats := s.cfg.Stats
+	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(stats)}
 	if s.cfg.Batch {
 		opts = append(opts, mpq.WithBatching())
 	}
 	if s.cfg.Partitions >= 2 {
 		opts = append(opts, mpq.WithPartitions(s.cfg.Partitions))
 	}
+	if s.cfg.EDBDelay > 0 {
+		opts = append(opts, mpq.WithEDBDelay(s.cfg.EDBDelay))
+	}
 	pq, args, reused, err := s.sys.QueryPrepared(src, opts...)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
+
+	var key string
+	if s.cache != nil {
+		key = resultKey(pq, args, s.sys.EDBVersion())
+		if rows, ok := s.cache.get(key); ok {
+			stats.ResultHit()
+			for _, t := range rows {
+				emit(t)
+			}
+			e2e := time.Since(t0)
+			stats.ObserveEndToEnd(e2e)
+			s.slo.observe(e2e, false)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("query %q tenant=%s: %d answers, cache=hit, %v",
+					src, tenant, len(rows), e2e.Round(time.Microsecond))
+			}
+			return reused, true, nil
+		}
+		stats.ResultMiss()
+	}
+
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	// Merge the server's hard-stop signal into the request context so a
+	// drain deadline aborts the evaluation with mpq.ErrCancelled.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	defer context.AfterFunc(s.stop, cancel)()
+
+	if aerr := s.adm.acquire(ctx, tenant); aerr != nil {
+		stats.Shed()
+		e2e := time.Since(t0)
+		stats.ObserveEndToEnd(e2e)
+		s.slo.observe(e2e, true)
+		return reused, false, aerr
+	}
+	stats.ObserveQueueWait(time.Since(t0))
+	evalStart := time.Now()
+	defer func() {
+		eval := time.Since(evalStart)
+		stats.ObserveEval(eval)
+		s.adm.release(tenant, eval)
+		e2e := time.Since(t0)
+		stats.ObserveEndToEnd(e2e)
+		s.slo.observe(e2e, err != nil)
+	}()
+
+	var rows [][]string
 	n := 0
-	for tuple, err := range pq.Answers(ctx, args...) {
-		if err != nil {
-			return reused, err
+	for tuple, terr := range pq.Answers(ctx, args...) {
+		if terr != nil {
+			return reused, false, terr
 		}
 		emit(tuple)
+		if s.cache != nil {
+			rows = append(rows, tuple)
+		}
 		n++
 	}
-	if s.cfg.Logf != nil {
-		s.cfg.Logf("query %q: %d answers, plan=%s, %v", src, n, planWord(reused), time.Since(start).Round(time.Microsecond))
+	if s.cache != nil {
+		s.cache.put(key, rows)
 	}
-	return reused, nil
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("query %q tenant=%s: %d answers, plan=%s, %v",
+			src, tenant, n, planWord(reused), time.Since(t0).Round(time.Microsecond))
+	}
+	return reused, false, nil
 }
 
 // Handler serves the same queries over HTTP for the diagnostics mux:
-// POST /query with the query text as the body. The response is text/plain
-// in the line-protocol framing (T/. lines, buffered — answer sets are
-// finite), with the plan outcome duplicated in the X-Mpq-Plan header;
-// errors map to 400 (bad query) or 503 (overload deadline).
+// POST /query with the query text as the body, the admission tenant in
+// the X-Mpq-Tenant header (default tenant when absent). The response is
+// text/plain in the line-protocol framing (T/. lines, buffered — answer
+// sets are finite), with the plan outcome duplicated in the X-Mpq-Plan
+// header and the result-cache outcome in X-Mpq-Cache (when the cache is
+// enabled); errors map to 400 (bad query), 503 (shed with ErrOverloaded
+// or shutting down).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -266,10 +454,19 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "empty query", http.StatusBadRequest)
 			return
 		}
+		tenant := strings.TrimSpace(r.Header.Get("X-Mpq-Tenant"))
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		if !s.beginQuery() {
+			http.Error(w, ErrShuttingDown.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.endQuery()
 		// Buffer the response so pre-stream errors can still set a status.
 		var buf strings.Builder
 		n := 0
-		reused, err := s.run(r.Context(), src, func(tuple []string) {
+		reused, cached, err := s.run(r.Context(), tenant, src, func(tuple []string) {
 			if len(tuple) == 0 {
 				buf.WriteString("T\n")
 			} else {
@@ -279,7 +476,7 @@ func (s *Server) Handler() http.Handler {
 		})
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, errOverload) {
+			if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown) {
 				code = http.StatusServiceUnavailable
 			}
 			http.Error(w, err.Error(), code)
@@ -287,6 +484,9 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Header().Set("X-Mpq-Plan", planWord(reused))
+		if s.cache != nil {
+			w.Header().Set("X-Mpq-Cache", map[bool]string{true: "hit", false: "miss"}[cached])
+		}
 		io.WriteString(w, buf.String())
 		fmt.Fprintf(w, ". %d plan=%s\n", n, planWord(reused))
 	})

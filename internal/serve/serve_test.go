@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"net/http/httptest"
@@ -179,14 +180,18 @@ func TestServeConcurrentSoak(t *testing.T) {
 	}
 }
 
-// TestServeOverloadDeadline drives more queries than MaxConcurrent with a
-// tiny timeout: queued queries must fail fast with the overload error, not
-// hang.
+// TestServeOverloadDeadline drives a query at a server whose only
+// evaluation slot is held: the queued query's deadline expires and it must
+// fail fast with the typed overload error, not hang. The result cache is
+// disabled so the query cannot sidestep admission.
 func TestServeOverloadDeadline(t *testing.T) {
-	srv, addr := startServer(t, Config{MaxConcurrent: 1, Timeout: 50 * time.Millisecond})
+	srv, addr := startServer(t, Config{MaxConcurrent: 1, Timeout: 50 * time.Millisecond,
+		ResultCacheSize: -1})
 	// Hold the only evaluation slot hostage.
-	srv.sem <- struct{}{}
-	defer func() { <-srv.sem }()
+	if err := srv.adm.acquire(context.Background(), "hog"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.adm.release("hog", 0)
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -195,8 +200,8 @@ func TestServeOverloadDeadline(t *testing.T) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	_, _, err = query(t, conn, sc, "?- path(a, Y).")
-	if err == nil || !strings.Contains(err.Error(), "deadline") {
-		t.Errorf("queued-past-deadline error = %v", err)
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("queued-past-deadline error = %v, want overloaded", err)
 	}
 }
 
@@ -205,7 +210,7 @@ func TestServeHTTPHandler(t *testing.T) {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 
-	post := func(body string) (int, string, string) {
+	post := func(body string) (int, string, string, string) {
 		resp, err := hs.Client().Post(hs.URL, "text/plain", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -217,24 +222,24 @@ func TestServeHTTPHandler(t *testing.T) {
 			b.WriteString(sc.Text())
 			b.WriteByte('\n')
 		}
-		return resp.StatusCode, b.String(), resp.Header.Get("X-Mpq-Plan")
+		return resp.StatusCode, b.String(), resp.Header.Get("X-Mpq-Plan"), resp.Header.Get("X-Mpq-Cache")
 	}
 
-	code, body, plan := post("?- path(x, Y).")
-	if code != 200 || plan != "miss" {
-		t.Errorf("first POST: code=%d plan=%q", code, plan)
+	code, body, plan, cache := post("?- path(x, Y).")
+	if code != 200 || plan != "miss" || cache != "miss" {
+		t.Errorf("first POST: code=%d plan=%q cache=%q", code, plan, cache)
 	}
 	if body != "T y\n. 1 plan=miss\n" {
 		t.Errorf("body = %q", body)
 	}
-	code, _, plan = post("?- path(x, Y).")
-	if code != 200 || plan != "hit" {
-		t.Errorf("second POST: code=%d plan=%q", code, plan)
+	code, _, plan, cache = post("?- path(x, Y).")
+	if code != 200 || plan != "hit" || cache != "hit" {
+		t.Errorf("second POST: code=%d plan=%q cache=%q", code, plan, cache)
 	}
-	if code, _, _ = post("?- path(X Y)."); code != 400 {
+	if code, _, _, _ = post("?- path(X Y)."); code != 400 {
 		t.Errorf("bad query code = %d", code)
 	}
-	if code, _, _ = post(""); code != 400 {
+	if code, _, _, _ = post(""); code != 400 {
 		t.Errorf("empty query code = %d", code)
 	}
 }

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// sloSlots is the sliding-window resolution: the window is divided into
+// this many slots, rotated by wall clock, so the burn rate forgets
+// requests older than one window without storing per-request state.
+const sloSlots = 12
+
+// sloTracker classifies each finished request against a latency
+// objective and maintains the error-budget burn rate over a sliding
+// window. "Good" means the request completed within the objective; shed
+// and failed requests are bad by definition. The burn rate is
+//
+//	badFraction / (1 - target)
+//
+// — 1.0 means the window is spending exactly the budget a target like
+// 99% allows (1% bad); >1 means an alert-worthy overspend. A nil tracker
+// (no objective configured) is valid and does nothing.
+type sloTracker struct {
+	objective time.Duration
+	target    float64
+	slotDur   time.Duration
+	stats     *trace.Stats
+
+	mu         sync.Mutex
+	slots      [sloSlots]struct{ good, bad int64 }
+	cur        int
+	lastRotate time.Time
+}
+
+func newSLO(objective time.Duration, target float64, window time.Duration, stats *trace.Stats) *sloTracker {
+	if objective <= 0 {
+		return nil
+	}
+	if target <= 0 || target >= 1 {
+		target = 0.99
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &sloTracker{objective: objective, target: target,
+		slotDur: window / sloSlots, stats: stats, lastRotate: time.Now()}
+}
+
+// observe records one finished request (failed covers shed and errored
+// requests) and refreshes the cumulative good/bad counters and the
+// burn-rate gauge in stats.
+func (t *sloTracker) observe(latency time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	good := !failed && latency <= t.objective
+	now := time.Now()
+	t.mu.Lock()
+	for now.Sub(t.lastRotate) >= t.slotDur {
+		t.lastRotate = t.lastRotate.Add(t.slotDur)
+		t.cur = (t.cur + 1) % sloSlots
+		t.slots[t.cur] = struct{ good, bad int64 }{}
+	}
+	if good {
+		t.slots[t.cur].good++
+	} else {
+		t.slots[t.cur].bad++
+	}
+	var g, b int64
+	for _, s := range t.slots {
+		g += s.good
+		b += s.bad
+	}
+	t.mu.Unlock()
+	if good {
+		t.stats.SLOGood()
+	} else {
+		t.stats.SLOBad()
+	}
+	burn := 0.0
+	if g+b > 0 {
+		burn = (float64(b) / float64(g+b)) / (1 - t.target)
+	}
+	t.stats.SetBurnRate(int64(burn * 1e6))
+}

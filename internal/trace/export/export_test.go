@@ -26,7 +26,13 @@ func TestPrometheusGolden(t *testing.T) {
 		Aborts: 21, DroppedSends: 22, DroppedPuts: 23, FaultDrops: 24,
 		PlanHits: 25, PlanMisses: 26,
 		Workers: 27,
+		Shed:    28, ResultHits: 29, ResultMisses: 30,
+		SLOGood: 31, SLOBad: 32, BurnRateMicro: 1_500_000,
 	}
+	// One sample in the first bucket, one in the sixth, one beyond the
+	// last bound (visible only in _count and the +Inf bucket).
+	sn.QueueWait.Counts[0], sn.QueueWait.Counts[5] = 1, 1
+	sn.QueueWait.Count, sn.QueueWait.SumNs = 3, int64(30*time.Second)
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, sn); err != nil {
 		t.Fatal(err)
@@ -98,6 +104,95 @@ mpq_plan_cache_total{result="miss"} 26
 # HELP mpq_partition_workers Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).
 # TYPE mpq_partition_workers gauge
 mpq_partition_workers 27
+# HELP mpq_serve_shed_total Requests rejected by admission load shedding (typed ErrOverloaded, fail-fast).
+# TYPE mpq_serve_shed_total counter
+mpq_serve_shed_total 28
+# HELP mpq_serve_result_cache_total Result-cache lookups by outcome: a hit replays cached answers with zero evaluation.
+# TYPE mpq_serve_result_cache_total counter
+mpq_serve_result_cache_total{result="hit"} 29
+mpq_serve_result_cache_total{result="miss"} 30
+# HELP mpq_slo_requests_total Requests meeting (good) or missing (bad; includes shed) the configured latency objective.
+# TYPE mpq_slo_requests_total counter
+mpq_slo_requests_total{verdict="good"} 31
+mpq_slo_requests_total{verdict="bad"} 32
+# HELP mpq_serve_queue_wait_seconds Time requests spent queued behind admission (fair queueing + quotas).
+# TYPE mpq_serve_queue_wait_seconds histogram
+mpq_serve_queue_wait_seconds_bucket{le="3.2e-05"} 1
+mpq_serve_queue_wait_seconds_bucket{le="6.4e-05"} 1
+mpq_serve_queue_wait_seconds_bucket{le="0.000128"} 1
+mpq_serve_queue_wait_seconds_bucket{le="0.000256"} 1
+mpq_serve_queue_wait_seconds_bucket{le="0.000512"} 1
+mpq_serve_queue_wait_seconds_bucket{le="0.001024"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.002048"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.004096"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.008192"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.016384"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.032768"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.065536"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.131072"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.262144"} 2
+mpq_serve_queue_wait_seconds_bucket{le="0.524288"} 2
+mpq_serve_queue_wait_seconds_bucket{le="1.048576"} 2
+mpq_serve_queue_wait_seconds_bucket{le="2.097152"} 2
+mpq_serve_queue_wait_seconds_bucket{le="4.194304"} 2
+mpq_serve_queue_wait_seconds_bucket{le="8.388608"} 2
+mpq_serve_queue_wait_seconds_bucket{le="16.777216"} 2
+mpq_serve_queue_wait_seconds_bucket{le="+Inf"} 3
+mpq_serve_queue_wait_seconds_sum 30
+mpq_serve_queue_wait_seconds_count 3
+# HELP mpq_serve_eval_seconds Evaluation time per served query (admission to last answer).
+# TYPE mpq_serve_eval_seconds histogram
+mpq_serve_eval_seconds_bucket{le="3.2e-05"} 0
+mpq_serve_eval_seconds_bucket{le="6.4e-05"} 0
+mpq_serve_eval_seconds_bucket{le="0.000128"} 0
+mpq_serve_eval_seconds_bucket{le="0.000256"} 0
+mpq_serve_eval_seconds_bucket{le="0.000512"} 0
+mpq_serve_eval_seconds_bucket{le="0.001024"} 0
+mpq_serve_eval_seconds_bucket{le="0.002048"} 0
+mpq_serve_eval_seconds_bucket{le="0.004096"} 0
+mpq_serve_eval_seconds_bucket{le="0.008192"} 0
+mpq_serve_eval_seconds_bucket{le="0.016384"} 0
+mpq_serve_eval_seconds_bucket{le="0.032768"} 0
+mpq_serve_eval_seconds_bucket{le="0.065536"} 0
+mpq_serve_eval_seconds_bucket{le="0.131072"} 0
+mpq_serve_eval_seconds_bucket{le="0.262144"} 0
+mpq_serve_eval_seconds_bucket{le="0.524288"} 0
+mpq_serve_eval_seconds_bucket{le="1.048576"} 0
+mpq_serve_eval_seconds_bucket{le="2.097152"} 0
+mpq_serve_eval_seconds_bucket{le="4.194304"} 0
+mpq_serve_eval_seconds_bucket{le="8.388608"} 0
+mpq_serve_eval_seconds_bucket{le="16.777216"} 0
+mpq_serve_eval_seconds_bucket{le="+Inf"} 0
+mpq_serve_eval_seconds_sum 0
+mpq_serve_eval_seconds_count 0
+# HELP mpq_serve_latency_seconds End-to-end request latency (arrival to response, queue wait included).
+# TYPE mpq_serve_latency_seconds histogram
+mpq_serve_latency_seconds_bucket{le="3.2e-05"} 0
+mpq_serve_latency_seconds_bucket{le="6.4e-05"} 0
+mpq_serve_latency_seconds_bucket{le="0.000128"} 0
+mpq_serve_latency_seconds_bucket{le="0.000256"} 0
+mpq_serve_latency_seconds_bucket{le="0.000512"} 0
+mpq_serve_latency_seconds_bucket{le="0.001024"} 0
+mpq_serve_latency_seconds_bucket{le="0.002048"} 0
+mpq_serve_latency_seconds_bucket{le="0.004096"} 0
+mpq_serve_latency_seconds_bucket{le="0.008192"} 0
+mpq_serve_latency_seconds_bucket{le="0.016384"} 0
+mpq_serve_latency_seconds_bucket{le="0.032768"} 0
+mpq_serve_latency_seconds_bucket{le="0.065536"} 0
+mpq_serve_latency_seconds_bucket{le="0.131072"} 0
+mpq_serve_latency_seconds_bucket{le="0.262144"} 0
+mpq_serve_latency_seconds_bucket{le="0.524288"} 0
+mpq_serve_latency_seconds_bucket{le="1.048576"} 0
+mpq_serve_latency_seconds_bucket{le="2.097152"} 0
+mpq_serve_latency_seconds_bucket{le="4.194304"} 0
+mpq_serve_latency_seconds_bucket{le="8.388608"} 0
+mpq_serve_latency_seconds_bucket{le="16.777216"} 0
+mpq_serve_latency_seconds_bucket{le="+Inf"} 0
+mpq_serve_latency_seconds_sum 0
+mpq_serve_latency_seconds_count 0
+# HELP mpq_slo_burn_rate Error-budget burn rate over the serving window (gauge; 1.0 = at budget).
+# TYPE mpq_slo_burn_rate gauge
+mpq_slo_burn_rate 1.5
 `
 	if got := buf.String(); got != golden {
 		t.Errorf("prometheus output diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, golden)

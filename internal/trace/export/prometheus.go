@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/trace"
@@ -93,6 +94,34 @@ var promRows = []metricRow{
 	// the current/latest evaluation (0 = all nodes sequential).
 	{"mpq_partition_workers", "", "Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).", "gauge",
 		func(sn trace.Snapshot) int64 { return sn.Workers }},
+	// Multi-tenant serving (internal/serve): admission load shedding and
+	// the versioned result cache in front of evaluation.
+	{"mpq_serve_shed_total", "", "Requests rejected by admission load shedding (typed ErrOverloaded, fail-fast).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.Shed }},
+	{"mpq_serve_result_cache_total", `result="hit"`, "Result-cache lookups by outcome: a hit replays cached answers with zero evaluation.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.ResultHits }},
+	{"mpq_serve_result_cache_total", `result="miss"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.ResultMisses }},
+	// SLO accounting over the configured latency objective.
+	{"mpq_slo_requests_total", `verdict="good"`, "Requests meeting (good) or missing (bad; includes shed) the configured latency objective.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.SLOGood }},
+	{"mpq_slo_requests_total", `verdict="bad"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.SLOBad }},
+}
+
+// promHists lists the serving-layer latency histograms, rendered in
+// Prometheus histogram exposition (cumulative _bucket series plus _sum
+// and _count) after the counter rows.
+var promHists = []struct {
+	name, help string
+	value      func(sn trace.Snapshot) trace.HistSnapshot
+}{
+	{"mpq_serve_queue_wait_seconds", "Time requests spent queued behind admission (fair queueing + quotas).",
+		func(sn trace.Snapshot) trace.HistSnapshot { return sn.QueueWait }},
+	{"mpq_serve_eval_seconds", "Evaluation time per served query (admission to last answer).",
+		func(sn trace.Snapshot) trace.HistSnapshot { return sn.Eval }},
+	{"mpq_serve_latency_seconds", "End-to-end request latency (arrival to response, queue wait included).",
+		func(sn trace.Snapshot) trace.HistSnapshot { return sn.EndToEnd }},
 }
 
 // WritePrometheus renders the snapshot in Prometheus text exposition
@@ -111,6 +140,28 @@ func WritePrometheus(w io.Writer, sn trace.Snapshot) error {
 			fmt.Fprintf(&b, "%s %d\n", r.name, r.value(sn))
 		}
 	}
+	for _, h := range promHists {
+		hs := h.value(sn)
+		fmt.Fprintf(&b, "# HELP %s %s\n", h.name, h.help)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.name)
+		cum := int64(0)
+		for i, bound := range trace.HistBounds() {
+			cum += hs.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", h.name,
+				strconv.FormatFloat(bound.Seconds(), 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, hs.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.name,
+			strconv.FormatFloat(float64(hs.SumNs)/1e9, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", h.name, hs.Count)
+	}
+	// The burn-rate gauge: error-budget spend rate over the serving
+	// layer's sliding window (1.0 = spending exactly the budget the
+	// objective allows; >1 = burning faster). See doc/OBSERVABILITY.md.
+	fmt.Fprintf(&b, "# HELP mpq_slo_burn_rate Error-budget burn rate over the serving window (gauge; 1.0 = at budget).\n")
+	fmt.Fprintf(&b, "# TYPE mpq_slo_burn_rate gauge\n")
+	fmt.Fprintf(&b, "mpq_slo_burn_rate %s\n",
+		strconv.FormatFloat(float64(sn.BurnRateMicro)/1e6, 'g', -1, 64))
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of finite latency buckets every Histogram
+// carries. Bucket i covers (bound[i-1], bound[i]] with bound[i] =
+// HistBase << i — an exponential ladder from 32µs to ~16.8s. Observations
+// above the last bound land only in Count (the +Inf bucket of the
+// Prometheus exposition).
+const HistBuckets = 20
+
+// HistBase is the upper bound of the first histogram bucket.
+const HistBase = 32 * time.Microsecond
+
+// HistBounds returns the finite bucket upper bounds, smallest first. The
+// slice is freshly allocated; callers may keep it.
+func HistBounds() []time.Duration {
+	out := make([]time.Duration, HistBuckets)
+	for i := range out {
+		out[i] = HistBase << i
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: per-bucket atomic counters over the exponential ladder of
+// HistBounds, plus a total sum and count. The zero value is ready to use.
+// It is the instrument behind the serving layer's queue-wait, evaluation,
+// and end-to-end latency distributions (see doc/OBSERVABILITY.md).
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	// Find the first bucket whose bound covers d. The ladder is tiny and
+	// the loop branch-predicts well; observations beyond the last bound
+	// count only toward count/sum.
+	bound := HistBase
+	for i := 0; i < HistBuckets; i++ {
+		if d <= bound {
+			h.counts[i].Add(1)
+			break
+		}
+		bound <<= 1
+	}
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Snapshot copies the histogram at one instant.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var sn HistSnapshot
+	for i := range h.counts {
+		sn.Counts[i] = h.counts[i].Load()
+	}
+	sn.SumNs = h.sumNs.Load()
+	sn.Count = h.count.Load()
+	return sn
+}
+
+// HistSnapshot is an immutable copy of a Histogram. Counts are
+// per-bucket (not cumulative); Count includes observations beyond the
+// last finite bound.
+type HistSnapshot struct {
+	Counts [HistBuckets]int64
+	SumNs  int64
+	Count  int64
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it — a conservative (never underestimating)
+// estimate, which is the right bias for latency objectives. Observations
+// beyond the last bound report twice the last bound. Returns 0 when the
+// histogram is empty.
+func (sn HistSnapshot) Quantile(q float64) time.Duration {
+	if sn.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(sn.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	bound := HistBase
+	for i := 0; i < HistBuckets; i++ {
+		cum += sn.Counts[i]
+		if cum >= rank {
+			return bound
+		}
+		bound <<= 1
+	}
+	return 2 * HistBase << (HistBuckets - 1)
+}
+
+// Mean returns the average observed latency (0 when empty).
+func (sn HistSnapshot) Mean() time.Duration {
+	if sn.Count == 0 {
+		return 0
+	}
+	return time.Duration(sn.SumNs / sn.Count)
+}

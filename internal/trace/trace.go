@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Stats is a set of monotone counters. The zero value is ready to use.
@@ -51,6 +52,20 @@ type Stats struct {
 	// goroutine count of the most recent evaluation's partition plan
 	// (engine.Options.Partitions), 0 when that evaluation ran unpartitioned.
 	workers atomic.Int64
+
+	// Serving-layer counters (internal/serve): load shedding, the
+	// versioned result cache, and the SLO surface. Latency histograms
+	// cover a request's time queued behind admission, its evaluation, and
+	// end to end (queue + eval).
+	shed         atomic.Int64 // requests rejected by admission load shedding
+	resultHits   atomic.Int64 // result-cache hits (answers replayed, no evaluation)
+	resultMisses atomic.Int64 // result-cache misses (evaluated, then cached)
+	sloGood      atomic.Int64 // requests that met the latency objective
+	sloBad       atomic.Int64 // requests that missed it or were shed
+	burnMicro    atomic.Int64 // gauge: SLO burn rate ×1e6 over the sliding window
+	queueWait    Histogram
+	evalTime     Histogram
+	endToEnd     Histogram
 }
 
 // Counter increment hooks, one per event the engine reports.
@@ -90,6 +105,29 @@ func (s *Stats) PlanMiss()           { s.planMisses.Add(1) }
 // partition plan (a gauge: the latest evaluation wins).
 func (s *Stats) SetWorkers(n int64) { s.workers.Store(n) }
 
+// Serving-layer hooks (see internal/serve).
+
+func (s *Stats) Shed()       { s.shed.Add(1) }
+func (s *Stats) ResultHit()  { s.resultHits.Add(1) }
+func (s *Stats) ResultMiss() { s.resultMisses.Add(1) }
+func (s *Stats) SLOGood()    { s.sloGood.Add(1) }
+func (s *Stats) SLOBad()     { s.sloBad.Add(1) }
+
+// SetBurnRate records the SLO burn-rate gauge, scaled by 1e6 (burn rate
+// 1.0 — spending error budget exactly as fast as the objective allows —
+// is stored as 1_000_000). The serving layer recomputes it over a sliding
+// window after every request.
+func (s *Stats) SetBurnRate(micro int64) { s.burnMicro.Store(micro) }
+
+// ObserveQueueWait records how long a request waited for admission.
+func (s *Stats) ObserveQueueWait(d time.Duration) { s.queueWait.Observe(d) }
+
+// ObserveEval records one evaluation's duration (admission to last answer).
+func (s *Stats) ObserveEval(d time.Duration) { s.evalTime.Observe(d) }
+
+// ObserveEndToEnd records a request's full latency (arrival to response).
+func (s *Stats) ObserveEndToEnd(d time.Duration) { s.endToEnd.Observe(d) }
+
 // Snapshot is an immutable copy of the counters at one instant.
 type Snapshot struct {
 	RelReqs, TupReqs, Tuples, Ends, ReqEnds int64
@@ -116,6 +154,18 @@ type Snapshot struct {
 	// recent evaluation's partition plan (engine.Options.Partitions), 0
 	// when it ran unpartitioned.
 	Workers int64
+	// Serving-layer counters: requests rejected by admission load
+	// shedding, result-cache outcomes (a hit replays cached answers and
+	// performs zero evaluation), and the SLO surface — requests that
+	// met/missed the configured latency objective plus the sliding-window
+	// burn-rate gauge (×1e6; see Stats.SetBurnRate).
+	Shed                     int64
+	ResultHits, ResultMisses int64
+	SLOGood, SLOBad          int64
+	BurnRateMicro            int64
+	// Serving-layer latency distributions: admission queue wait,
+	// evaluation, and end to end.
+	QueueWait, Eval, EndToEnd HistSnapshot
 }
 
 // Snapshot reads every counter.
@@ -148,6 +198,15 @@ func (s *Stats) Snapshot() Snapshot {
 		PlanHits:     s.planHits.Load(),
 		PlanMisses:   s.planMisses.Load(),
 		Workers:      s.workers.Load(),
+		Shed:         s.shed.Load(),
+		ResultHits:   s.resultHits.Load(),
+		ResultMisses: s.resultMisses.Load(),
+		SLOGood:      s.sloGood.Load(),
+		SLOBad:       s.sloBad.Load(),
+		BurnRateMicro: s.burnMicro.Load(),
+		QueueWait:     s.queueWait.Snapshot(),
+		Eval:          s.evalTime.Snapshot(),
+		EndToEnd:      s.endToEnd.Snapshot(),
 	}
 }
 
@@ -180,6 +239,12 @@ func (sn Snapshot) String() string {
 	}
 	if sn.PlanHits+sn.PlanMisses > 0 {
 		fmt.Fprintf(&b, " planhits=%d planmisses=%d", sn.PlanHits, sn.PlanMisses)
+	}
+	if sn.Shed+sn.ResultHits+sn.ResultMisses > 0 {
+		fmt.Fprintf(&b, " shed=%d resulthits=%d resultmisses=%d", sn.Shed, sn.ResultHits, sn.ResultMisses)
+	}
+	if sn.SLOGood+sn.SLOBad > 0 {
+		fmt.Fprintf(&b, " slogood=%d slobad=%d burn=%.2f", sn.SLOGood, sn.SLOBad, float64(sn.BurnRateMicro)/1e6)
 	}
 	if sn.Workers > 0 {
 		fmt.Fprintf(&b, " workers=%d", sn.Workers)

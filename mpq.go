@@ -185,6 +185,14 @@ func (s *System) AddFact(pred string, args ...string) bool {
 	return added
 }
 
+// EDBVersion returns a counter that increases whenever a new fact enters
+// the System's database (AddFact, LoadData). Result caches key on it so
+// cached answers are invalidated by any mutation: equal versions bracket a
+// window in which every cached answer is still exact.
+func (s *System) EDBVersion() uint64 {
+	return s.DB.Version()
+}
+
 // config collects Eval options.
 type config struct {
 	engine       Engine
@@ -198,6 +206,7 @@ type config struct {
 	profile      *trace.Profile
 	events       *trace.EventLog
 	partitions   int
+	edbDelay     time.Duration
 }
 
 // Option adjusts one evaluation.
@@ -251,6 +260,13 @@ func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } 
 // WithTrace logs every message the engine sends to w, one line each —
 // a debugging and teaching aid. MessagePassing engine only.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
+
+// WithEDBDelay charges every EDB-leaf retrieval a simulated latency
+// (engine.Options.EDBDelay) — the E12/A7 methodology for modelling disk
+// or remote-store access, which makes evaluations latency-bound rather
+// than CPU-bound. Answers are unchanged. MessagePassing engine only; the
+// setting keys the plan cache alongside strategy, partitions, and shape.
+func WithEDBDelay(d time.Duration) Option { return func(c *config) { c.edbDelay = d } }
 
 // WithContext derives a MessagePassing evaluation's lifetime from ctx: when
 // ctx is cancelled or its deadline expires, the engine aborts every node
@@ -315,7 +331,7 @@ func (c *config) evalContext() (context.Context, context.CancelFunc) {
 func (c *config) engineOptions(ctx context.Context) engine.Options {
 	return engine.Options{Stats: c.stats, Batch: c.batch, Trace: c.trace,
 		Cancel: ctx.Done(), Profile: c.profile, Events: c.events,
-		Partitions: c.partitions}
+		Partitions: c.partitions, EDBDelay: c.edbDelay}
 }
 
 // ctxDone returns the context's cancellation channel, tolerating nil (the

@@ -7,6 +7,7 @@ import (
 	"iter"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/adorn"
 	"repro/internal/ast"
@@ -45,7 +46,8 @@ type PreparedQuery struct {
 	// wiring is structural, so plans for different partition counts must
 	// not alias.
 	partitions int
-	stats      *trace.Stats // Prepare-time WithStats accumulator, nil for per-call stats
+	edbDelay   time.Duration // WithEDBDelay simulated retrieval latency
+	stats      *trace.Stats  // Prepare-time WithStats accumulator, nil for per-call stats
 }
 
 // parsedQuery is the outcome of canonicalizing one query's source text.
@@ -208,7 +210,7 @@ func (s *System) prepare(q *parsedQuery, cfg *config) (*PreparedQuery, error) {
 	s.mu.Unlock()
 	return &PreparedQuery{sys: s, plan: plan, strategy: normStrategy(cfg.strategyName),
 		shape: q.shape, defaults: q.consts, nout: nout, batch: cfg.batch,
-		partitions: cfg.partitions, stats: cfg.stats}, nil
+		partitions: cfg.partitions, edbDelay: cfg.edbDelay, stats: cfg.stats}, nil
 }
 
 // NumParams reports how many constants the query text contained — the
@@ -221,6 +223,24 @@ func (pq *PreparedQuery) Shape() string { return pq.shape }
 
 // Graph exposes the compiled rule/goal graph for inspection.
 func (pq *PreparedQuery) Graph() *rgg.Graph { return pq.plan.Graph() }
+
+// CacheKey returns the System plan-cache key this plan is stored under:
+// strategy, partition count, simulated-latency setting, and canonical
+// shape, NUL-separated. Two queries with equal CacheKeys evaluate through
+// the same compiled plan, so serving-layer result caches can key on
+// (CacheKey, bound constants, System.EDBVersion) and never alias distinct
+// plans.
+func (pq *PreparedQuery) CacheKey() string {
+	return planKey(pq.strategy, pq.partitions, pq.edbDelay, pq.shape)
+}
+
+// planKey builds the plan-cache key. It includes the partition count (a
+// plan's pooled scratch is built for one worker-shard wiring, see
+// PreparedQuery.partitions) and the WithEDBDelay setting (baked into the
+// plan's run options), so configs differing in either never share a plan.
+func planKey(strategy string, partitions int, delay time.Duration, shape string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%s", strategy, partitions, delay, shape)
+}
 
 // bindSyms validates the arguments and interns them in parameter order —
 // which is also root "d"-position order, since parameters occupy the
@@ -267,7 +287,7 @@ func (pq *PreparedQuery) evalWith(ctx context.Context, args []string, stats *tra
 		return nil, err
 	}
 	res, err := pq.plan.Run(engine.Options{Stats: stats, Batch: batch, Bind: bind,
-		Cancel: ctxDone(ctx), Partitions: pq.partitions})
+		Cancel: ctxDone(ctx), Partitions: pq.partitions, EDBDelay: pq.edbDelay})
 	if err != nil {
 		return nil, engineError(err, ctx)
 	}
@@ -298,7 +318,7 @@ func (pq *PreparedQuery) Answers(ctx context.Context, args ...string) iter.Seq2[
 		}
 		stopped := false
 		_, err = pq.plan.RunStream(engine.Options{Stats: pq.stats, Batch: pq.batch, Bind: bind,
-			Cancel: ctxDone(ctx), Partitions: pq.partitions},
+			Cancel: ctxDone(ctx), Partitions: pq.partitions, EDBDelay: pq.edbDelay},
 			func(t relation.Tuple) bool {
 				row := make([]string, pq.nout)
 				for i := 0; i < pq.nout; i++ {
@@ -409,9 +429,7 @@ func (s *System) queryPrepared(src string, cfg *config) (*PreparedQuery, []strin
 	if err != nil {
 		return nil, nil, false, err
 	}
-	// The key includes the partition count: a plan's pooled scratch is
-	// built for one worker-shard wiring (see PreparedQuery.partitions).
-	key := fmt.Sprintf("%s\x00%d\x00%s", normStrategy(cfg.strategyName), cfg.partitions, q.shape)
+	key := planKey(normStrategy(cfg.strategyName), cfg.partitions, cfg.edbDelay, q.shape)
 	if pq := s.plans.get(key); pq != nil {
 		if cfg.stats != nil {
 			cfg.stats.PlanHit()

@@ -8,6 +8,12 @@
 # race on the second run.
 # `./scripts/check.sh docs` (or `make docs`) runs only the documentation
 # gate: intra-repo markdown links must resolve, and `go vet` must be clean.
+# `./scripts/check.sh gate` (or `make gate`) runs the perf-regression
+# release gate: cmd/bench re-measures the headline ratios of the committed
+# BENCH_4/5/6.json records on this tree and exits nonzero if any falls
+# past its noise floor (thresholds: EXPERIMENTS.md). Self-test with
+# MPQ_GATE_HANDICAP=2ms, which simulates a slowed build — the gate must
+# then fail.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
@@ -20,6 +26,10 @@ go run ./cmd/mdlinkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.m
 # snapshot. Intentional changes: go run ./cmd/apisnap > api/mpq.txt
 go run ./cmd/apisnap -check api/mpq.txt
 if [ "${1:-}" = "docs" ]; then
+	exit 0
+fi
+if [ "${1:-}" = "gate" ]; then
+	go run ./cmd/bench -gate
 	exit 0
 fi
 if [ "${1:-}" = "chaos" ]; then
