@@ -65,14 +65,16 @@ var experiments = map[string]func(quick bool){
 	"A6":  a6Prepared,
 	"A7":  a7Partitions,
 	"A8":  a8Serving,
+	"A9":  a9Incremental,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
 // "after" half of BENCH_1.json), A4 its failure-handling overhead
 // record (BENCH_2.json), A5 its observability overhead record
 // (BENCH_3.json), A6 its prepared-query serving record (BENCH_4.json),
-// A7 its partitioned-parallelism record (BENCH_5.json), and A8 its
-// multi-tenant serving record (BENCH_6.json) to the named file.
+// A7 its partitioned-parallelism record (BENCH_5.json), A8 its
+// multi-tenant serving record (BENCH_6.json), and A9 its incremental
+// view-maintenance record (BENCH_7.json) to the named file.
 var jsonOut string
 
 // machineInfo is the header every BENCH_*.json record carries, so perf

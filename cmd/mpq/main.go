@@ -31,6 +31,19 @@
 // query and the streamed answers are printed as in local evaluation:
 //
 //	mpq -connect :7700 '?- path(a, Y).'
+//
+// A `fact edge(a, b).` argument (or stdin line) adds a ground fact to the
+// server's EDB instead of querying — the writer half of a subscription.
+//
+// Adding -subscribe turns the single query into a live view (see
+// doc/SUBSCRIPTIONS.md): the current answers print immediately, then mpq
+// stays connected and prints each answer the moment a server-side
+// AddFact/LoadData mutation makes it derivable, until interrupted:
+//
+//	mpq -connect :7700 -subscribe '?- path(a, Y).'
+//
+// With -stats, each round's "~ <n> v=<version>" frame is echoed to
+// stderr.
 package main
 
 import (
@@ -71,6 +84,7 @@ func main() {
 	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
 	connect := flag.String("connect", "", "client mode: send queries to an `mpqd -serve` address instead of evaluating locally")
 	tenant := flag.String("tenant", "", "-connect: admission tenant name for fair queueing and quotas (default tenant when empty)")
+	subscribe := flag.Bool("subscribe", false, "-connect: subscribe to one query and stream new answers as the server's EDB grows")
 	var data dataFlags
 	flag.Var(&data, "data", "load pred=file.csv facts (repeatable)")
 	flag.Usage = func() {
@@ -80,10 +94,19 @@ func main() {
 	flag.Parse()
 
 	if *connect != "" {
-		if err := runClient(*connect, *tenant, flag.Args(), *stats); err != nil {
+		var err error
+		if *subscribe {
+			err = runSubscribe(*connect, *tenant, flag.Args(), *stats)
+		} else {
+			err = runClient(*connect, *tenant, flag.Args(), *stats)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *subscribe {
+		fatal(fmt.Errorf("-subscribe needs -connect (subscriptions live on an mpqd -serve instance)"))
 	}
 	eng, err := mpq.ParseEngine(*engineName)
 	if err != nil {
@@ -195,6 +218,17 @@ func runClient(addr, tenant string, queries []string, stats bool) error {
 					fmt.Fprintf(os.Stderr, "%s\n", strings.TrimPrefix(line, ". "))
 				}
 				return nil
+			case strings.HasPrefix(line, "+ "):
+				// Reply to a "fact <atom>." line: was the fact new?
+				if strings.HasPrefix(line, "+ 1") {
+					fmt.Println("added")
+				} else {
+					fmt.Println("duplicate")
+				}
+				if stats {
+					fmt.Fprintf(os.Stderr, "%s\n", strings.TrimPrefix(line, "+ "))
+				}
+				return nil
 			case strings.HasPrefix(line, "E "):
 				return fmt.Errorf("server: %s", strings.TrimPrefix(line, "E "))
 			default:
@@ -226,6 +260,52 @@ func runClient(addr, tenant string, queries []string, stats bool) error {
 		}
 	}
 	return nil
+}
+
+// runSubscribe is `mpq -connect ADDR -subscribe QUERY`: it opens a live
+// view over one query (doc/SUBSCRIPTIONS.md) and prints every answer as
+// it becomes derivable — the full current set first, then each delta —
+// until the connection ends (server shutdown, or the user interrupting
+// mpq). Round frames go to stderr with -stats. Output is unbuffered by
+// round: each tuple prints the moment its T line arrives, so the stream
+// can feed a pipeline.
+func runSubscribe(addr, tenant string, queries []string, stats bool) error {
+	if len(queries) != 1 {
+		return fmt.Errorf("-subscribe wants exactly one query, got %d", len(queries))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if tenant != "" {
+		if _, err := fmt.Fprintf(conn, "tenant %s\n", tenant); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(conn, "subscribe %s\n", strings.ReplaceAll(queries[0], "\n", " ")); err != nil {
+		return err
+	}
+	resp := bufio.NewScanner(conn)
+	resp.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for resp.Scan() {
+		line := resp.Text()
+		switch {
+		case line == "T":
+			fmt.Println("yes")
+		case strings.HasPrefix(line, "T "):
+			fmt.Println(strings.TrimPrefix(line, "T "))
+		case strings.HasPrefix(line, "~ "):
+			if stats {
+				fmt.Fprintf(os.Stderr, "%s\n", strings.TrimPrefix(line, "~ "))
+			}
+		case strings.HasPrefix(line, "E "):
+			return fmt.Errorf("server: %s", strings.TrimPrefix(line, "E "))
+		default:
+			return fmt.Errorf("malformed server line %q", line)
+		}
+	}
+	return resp.Err() // EOF: server closed the subscription
 }
 
 // observer holds the opt-in observability sinks (-profile, -trace-out) and

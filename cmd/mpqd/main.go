@@ -28,11 +28,15 @@
 // (query, constants) answers until any new fact invalidates them. SIGINT
 // or SIGTERM drains gracefully: stop accepting, finish in-flight queries
 // for up to -drain-timeout, then abort the stragglers. The diagnostics
-// mux also accepts queries on POST /query. `mpq -connect ADDR` is the
-// matching client:
+// mux also accepts queries on POST /query. A "subscribe <query>" line
+// turns its connection into a live view: the current answers stream out,
+// then each delta as facts are added, re-evaluated incrementally through
+// the retained plan (see doc/SUBSCRIPTIONS.md). `mpq -connect ADDR` is
+// the matching client (`-subscribe` for live views):
 //
 //	mpqd -program rules.dl -serve :7700 -max-concurrent 8 &
 //	mpq -connect :7700 '?- path(a, Y).'
+//	mpq -connect :7700 -subscribe '?- path(a, Y).'
 //
 // Observability (see doc/OBSERVABILITY.md): -metrics ADDR serves live
 // Prometheus counters on /metrics — engine message/row/round counters plus

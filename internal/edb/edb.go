@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ast"
@@ -30,6 +31,23 @@ type Database struct {
 	// version counts successful mutations. Serving layers key cached
 	// query results on it so any AddFact/Add/LoadRows invalidates them.
 	version atomic.Uint64
+	// changes logs every successful mutation in version order: changes[i]
+	// has Seq == i+1. Subscriptions consult it to decide whether a version
+	// bump touched any base predicate their query reads. Appends happen
+	// under the same external lock that serialises mutations (the change
+	// log is not an extra synchronisation point); ChangesSince copies the
+	// tail under chMu so concurrent readers never see a growing slice.
+	changes []Change
+	chMu    sync.Mutex
+}
+
+// Change records one successful mutation: the row inserted and the
+// database version it produced (Version() == Seq immediately after).
+type Change struct {
+	Seq uint64
+	Key ast.PredKey
+	// Row is the interned tuple, owned by the database: read-only.
+	Row relation.Tuple
 }
 
 // New returns an empty database with a fresh symbol table.
@@ -57,7 +75,7 @@ func (db *Database) AddFact(a ast.Atom) bool {
 		t[i] = db.Syms.Intern(arg.Const)
 	}
 	if db.rel(a.Key()).Insert(t) {
-		db.version.Add(1)
+		db.record(a.Key(), t)
 		return true
 	}
 	return false
@@ -71,11 +89,37 @@ func (db *Database) Add(pred string, args ...string) bool {
 	for i, s := range args {
 		t[i] = db.Syms.Intern(s)
 	}
-	if db.rel(ast.PredKey{Name: pred, Arity: len(args)}).Insert(t) {
-		db.version.Add(1)
+	key := ast.PredKey{Name: pred, Arity: len(args)}
+	if db.rel(key).Insert(t) {
+		db.record(key, t)
 		return true
 	}
 	return false
+}
+
+// record logs one successful insert and bumps the version. The version
+// bump comes last so a reader that observes the new version is guaranteed
+// to find the change in the log.
+func (db *Database) record(key ast.PredKey, t relation.Tuple) {
+	db.chMu.Lock()
+	v := db.version.Load() + 1
+	db.changes = append(db.changes, Change{Seq: v, Key: key, Row: t})
+	db.chMu.Unlock()
+	db.version.Add(1)
+}
+
+// ChangesSince returns a copy of the changes with Seq > v, oldest first.
+// Passing the value of a previous Version() call yields exactly the
+// mutations that happened after it.
+func (db *Database) ChangesSince(v uint64) []Change {
+	db.chMu.Lock()
+	defer db.chMu.Unlock()
+	if v >= uint64(len(db.changes)) {
+		return nil
+	}
+	out := make([]Change, len(db.changes)-int(v))
+	copy(out, db.changes[v:])
+	return out
 }
 
 // Version returns a counter that increases on every successful mutation.

@@ -207,3 +207,38 @@ func TestWarmIndexesForIdempotent(t *testing.T) {
 		t.Errorf("selection after warm built an index: %d, want %d", g.IndexBuilds(), builds)
 	}
 }
+
+func TestChangesSince(t *testing.T) {
+	db := New()
+	db.Add("e", "a", "b")
+	db.Add("e", "a", "b") // duplicate: no mutation, no change record
+	v1 := db.Version()
+	if v1 != 1 {
+		t.Fatalf("Version after one distinct insert = %d, want 1", v1)
+	}
+	db.Add("e", "b", "c")
+	db.Add("f", "x")
+	ch := db.ChangesSince(v1)
+	if len(ch) != 2 {
+		t.Fatalf("ChangesSince(%d) returned %d changes, want 2", v1, len(ch))
+	}
+	if ch[0].Seq != 2 || ch[0].Key != (ast.PredKey{Name: "e", Arity: 2}) {
+		t.Errorf("change 0 = %+v, want Seq 2 on e/2", ch[0])
+	}
+	if ch[1].Seq != 3 || ch[1].Key != (ast.PredKey{Name: "f", Arity: 1}) {
+		t.Errorf("change 1 = %+v, want Seq 3 on f/1", ch[1])
+	}
+	b, _ := db.Syms.Lookup("b")
+	if ch[0].Row[0] != b {
+		t.Errorf("change 0 row = %v, want first column %v (b)", ch[0].Row, b)
+	}
+	if got := db.ChangesSince(db.Version()); got != nil {
+		t.Errorf("ChangesSince(current) = %v, want nil", got)
+	}
+	// Seq of every change equals the version its mutation produced.
+	for _, c := range db.ChangesSince(0) {
+		if c.Seq == 0 || c.Seq > db.Version() {
+			t.Errorf("change %+v has Seq outside (0, %d]", c, db.Version())
+		}
+	}
+}

@@ -269,6 +269,12 @@ type runner struct {
 	abortMu  sync.Mutex
 	abortErr error
 	abortOff bool
+
+	// delta marks a delta round of an Incremental evaluation: node state is
+	// retained from the previous round, EDB leaves seed only their delta
+	// windows, and RelReq handlers skip the late-registration replay (the
+	// customer already holds everything stored). False for ordinary runs.
+	delta bool
 }
 
 func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Options,

@@ -38,6 +38,12 @@ type goalState struct {
 	edbRel   *relation.Relation
 	consts   relation.Binding // constant positions, pre-interned
 	varPoses map[string][]int // variable → its argument positions
+	// seenBase is the length of the LIVE base relation this leaf has
+	// absorbed: rows [seenBase:] are the next delta window (Incremental
+	// rounds). The live relation is re-resolved from the database each
+	// round, so a predicate with no facts at plan time still picks up its
+	// relation once the first fact creates it.
+	seenBase int
 
 	// Variant nodes.
 	cycleTo int
@@ -56,6 +62,9 @@ type customerState struct {
 	reqs       map[string]bool
 	reqCount   int
 	reqEnd     bool
+	// deltaEnded latches this round's drain End (see feedState.drained);
+	// reset by deltaReset.
+	deltaEnded bool
 }
 
 func newGoalState(p *proc) *goalState {
@@ -80,6 +89,7 @@ func newGoalState(p *proc) *goalState {
 	}
 	if g.isEDB {
 		g.edbRel = p.rt.db.Relation(n.Atom.Key())
+		g.seenBase = g.edbRel.Len()
 		if n.EDBShardOf > 1 {
 			// Shard leaf of a hash-partitioned EDB relation: pre-slice the
 			// base relation so this leaf serves exactly its hash slice. The
@@ -150,14 +160,20 @@ func (g *goalState) handle(m msg.Message) {
 // request doubles as the request-end.
 func (g *goalState) onRelReq(m msg.Message) {
 	cs := g.customer(m.From)
+	fresh := !cs.registered
 	cs.registered = true
 	if len(g.dPos) == 0 {
 		cs.reqEnd = true
 		// A late-registering customer receives everything already stored.
 		// This precedes any servicing below so the triggering customer is
-		// not sent fresh answers twice (once here, once on arrival).
-		for _, t := range g.answers.Rows() {
-			g.p.queueTuple(cs.id, t)
+		// not sent fresh answers twice (once here, once on arrival). On a
+		// delta round the customer re-registers but already received the
+		// store in earlier rounds, so the replay is skipped (fresh=false:
+		// registrations survive deltaReset).
+		if fresh {
+			for _, t := range g.answers.Rows() {
+				g.p.queueTuple(cs.id, t)
+			}
 		}
 	}
 	if !g.relReqForwarded {
@@ -166,11 +182,17 @@ func (g *goalState) onRelReq(m msg.Message) {
 		case g.p.wk != nil:
 			// Worker shard of a partitioned goal: the control process
 			// already forwarded the relation request downstream, once on
-			// behalf of all shards.
+			// behalf of all shards. An EDB worker still seeds its slice of
+			// the delta window on delta rounds.
+			if g.p.rt.delta && g.isEDB {
+				g.serviceEDBDelta()
+			}
 		case g.cycleTo != rgg.NoNode:
 			g.p.send(msg.Message{Kind: msg.RelReq, To: g.cycleTo})
 		case g.isEDB:
-			if len(g.dPos) == 0 {
+			if g.p.rt.delta {
+				g.serviceEDBDelta()
+			} else if len(g.dPos) == 0 {
 				g.serviceEDB(nil)
 			}
 		default:
@@ -286,6 +308,116 @@ rows:
 	}
 }
 
+// serviceEDBDelta seeds one delta round at an EDB leaf: the base-relation
+// rows appended since the previous round (the Δ window) are filtered and
+// delivered exactly as serviceEDB would have, but without rescanning the
+// rows every earlier round already absorbed.
+//
+// Free-access leaves (no "d" positions) deliver every surviving window row.
+// Bound-access leaves deliver only rows whose d-projection was already
+// requested (g.reqSeen): a row under a never-requested binding is not part
+// of any answer yet — it waits in the relation and is found by the ordinary
+// Select when its binding first arrives. Leaves holding a private slice
+// (EDB shard leaves, worker shards, predicates with no facts at plan time)
+// fold their share of the window into the slice first, so those later
+// Selects observe it.
+// ownsRow applies the hash filters that carve this leaf's slice out of the
+// base relation: the EDB-shard filter (hash-partitioned base relations) and
+// the worker-shard filter (the d-projection routing of partState.onTupReq).
+// Plain leaves own every row.
+func (g *goalState) ownsRow(row relation.Tuple) bool {
+	n := g.p.node
+	if n.EDBShardOf > 1 && int(relation.HashTuple(row)%uint64(n.EDBShardOf)) != n.EDBShard {
+		return false
+	}
+	if g.p.wk != nil && len(g.dPos) > 0 &&
+		int(relation.HashTupleAt(row, g.dPos)%uint64(g.p.wk.ps.spec.n)) != g.p.wk.idx {
+		return false
+	}
+	return true
+}
+
+// refreshEDBSlice folds base-relation rows appended since this leaf's
+// seenBase watermark into its private slice. Shard leaves, worker leaves,
+// and leaves whose predicate had no facts at plan-build time hold a slice;
+// plain leaves read the live relation directly and only advance the
+// watermark. Called from reset() strictly between pooled evaluations, so
+// the inserts race no readers. Delta rounds do the same fold inline in
+// serviceEDBDelta (an Incremental's procs are never reset()).
+func (g *goalState) refreshEDBSlice() {
+	live := g.p.rt.db.Relation(g.p.node.Atom.Key())
+	rows := live.Rows()
+	from := g.seenBase
+	g.seenBase = len(rows)
+	if g.edbRel == live || from >= len(rows) {
+		return
+	}
+	for _, row := range rows[from:] {
+		if g.ownsRow(row) {
+			g.edbRel.Insert(row)
+		}
+	}
+}
+
+func (g *goalState) serviceEDBDelta() {
+	n := g.p.node
+	live := g.p.rt.db.Relation(n.Atom.Key())
+	rows := live.Rows()
+	from := g.seenBase
+	g.seenBase = len(rows)
+	if from >= len(rows) {
+		return
+	}
+	g.p.statEDBScan()
+	if d := g.p.rt.edbDelay; d > 0 {
+		time.Sleep(d) // one simulated retrieval for the whole window
+	}
+	sliced := g.edbRel != live
+	owned, seeded := 0, 0
+	buf := make(relation.Tuple, len(g.carried))
+	var dVals relation.Tuple
+	if len(g.dPos) > 0 {
+		dVals = make(relation.Tuple, len(g.dPos))
+	}
+window:
+	for _, row := range rows[from:] {
+		if !g.ownsRow(row) {
+			continue
+		}
+		owned++
+		if sliced {
+			g.edbRel.Insert(row)
+		}
+		for i, sym := range g.consts {
+			if sym != symtab.NoSym && row[i] != sym {
+				continue window
+			}
+		}
+		for _, poses := range g.varPoses {
+			for _, pos := range poses[1:] {
+				if row[pos] != row[poses[0]] {
+					continue window
+				}
+			}
+		}
+		if len(g.dPos) > 0 {
+			for i, pos := range g.dPos {
+				dVals[i] = row[pos]
+			}
+			if !g.reqSeen[dVals.Key()] {
+				continue
+			}
+		}
+		seeded++
+		for i, pos := range g.carried {
+			buf[i] = row[pos]
+		}
+		g.onTuple(buf)
+	}
+	g.p.statEDBTuples(owned)
+	g.p.rt.stats.DeltaSeeded(int64(seeded))
+}
+
 // maybeEnd implements non-recursive completion: once every cross-component
 // child has serviced everything forwarded to it, the watermark advances to
 // the customer; once the customer has also promised no more requests, the
@@ -315,9 +447,11 @@ func (g *goalState) confirmedEnd() {
 
 func (g *goalState) emitEnd(cs *customerState) {
 	final := cs.reqEnd && !g.allSent
-	if cs.reqCount > g.lastWatermark || final {
+	drain := g.p.rt.delta && !cs.deltaEnded
+	if cs.reqCount > g.lastWatermark || final || drain {
 		g.p.send(msg.Message{Kind: msg.End, To: cs.id, N: cs.reqCount, All: cs.reqEnd})
 		g.lastWatermark = cs.reqCount
+		cs.deltaEnded = true
 		if cs.reqEnd {
 			g.allSent = true
 		}

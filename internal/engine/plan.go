@@ -198,7 +198,14 @@ func (g *goalState) reset() {
 	g.lastWatermark = 0
 	g.allSent = false
 	// isEDB wiring (edbRel, consts, varPoses) is graph+db-scoped, not
-	// run-scoped: a Plan binds exactly one database, so it stays.
+	// run-scoped: a Plan binds exactly one database, so it stays — but a
+	// leaf holding a private slice of the base relation (shard and worker
+	// leaves, or a predicate that had no facts when the plan was built)
+	// must fold in any rows the relation gained since, or pooled re-runs
+	// would serve a snapshot frozen at construction time.
+	if g.isEDB {
+		g.refreshEDBSlice()
+	}
 }
 
 func (r *ruleState) reset() {

@@ -105,6 +105,15 @@ type feedState struct {
 	sent   atomic.Int64
 	acked  int
 	allEnd bool
+	// drained marks that the child has sent at least one End this delta
+	// round. Delta rounds push new base tuples upward without any request
+	// carrying them, so the request watermark alone cannot tell "nothing
+	// outstanding" from "the delta has not arrived yet": each node emits
+	// one End per delta round once its own subtree has drained, and a
+	// customer treats a feeder as settled only after seeing it (FIFO
+	// delivery puts the End behind every delta tuple the child pushed).
+	// Ignored outside delta rounds; reset by deltaReset.
+	drained bool
 }
 
 func (f *feedState) settled() bool {
@@ -445,14 +454,16 @@ func (p *proc) onEnd(m msg.Message) {
 	if m.All {
 		f.allEnd = true
 	}
+	f.drained = true
 }
 
 // feedersSettled reports whether every cross-component child has serviced
 // everything sent to it — the "received end messages from all its feeders"
 // half of empty_queues().
 func (p *proc) feedersSettled() bool {
+	delta := p.rt.delta
 	for _, f := range p.feeds {
-		if !f.settled() {
+		if !f.settled() || (delta && !f.drained) {
 			return false
 		}
 	}

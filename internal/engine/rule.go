@@ -50,6 +50,9 @@ type ruleState struct {
 	headReqCount   int
 	lastWatermark  int
 	allSent        bool
+	// deltaEnded latches this round's drain End (see feedState.drained);
+	// reset by deltaReset.
+	deltaEnded bool
 }
 
 // subSource is one subgoal's stored temporary relation plus the mappings
@@ -202,8 +205,13 @@ func (r *ruleState) onRelReq() {
 	}
 	if len(r.headDPos) == 0 {
 		r.parentReqEnd = true
-		r.hb.Insert(relation.Tuple{})
-		r.trigger(headSource, nil, nil)
+		// Insert's report gates the trigger so a delta round (which retains
+		// hb across rounds) does not re-enumerate every join from the
+		// implicit empty binding: new joins are triggered by the delta
+		// tuples themselves as they arrive.
+		if r.hb.Insert(relation.Tuple{}) {
+			r.trigger(headSource, nil, nil)
+		}
 	}
 }
 
@@ -428,9 +436,11 @@ func (r *ruleState) maybeEnd() {
 		return
 	}
 	final := r.parentReqEnd && !r.allSent
-	if r.headReqCount > r.lastWatermark || final {
+	drain := r.p.rt.delta && !r.deltaEnded
+	if r.headReqCount > r.lastWatermark || final || drain {
 		r.p.send(msg.Message{Kind: msg.End, To: r.p.node.Parent, N: r.headReqCount, All: r.parentReqEnd})
 		r.lastWatermark = r.headReqCount
+		r.deltaEnded = true
 		if r.parentReqEnd {
 			r.allSent = true
 		}

@@ -255,6 +255,9 @@ type partState struct {
 	headReqCount   int  // rule nodes
 	lastWatermark  int
 	allSent        bool
+	// deltaEnded latches this round's drain End for rule-mode nodes (goal
+	// mode uses the per-customer latch); reset by deltaReset.
+	deltaEnded bool
 
 	workAtProbe int64 // worker completions at the previous Fig 2 probe
 }
@@ -468,9 +471,11 @@ func (ps *partState) maybeEnd() {
 	}
 	if ps.spec.isRule {
 		final := ps.parentReqEnd && !ps.allSent
-		if ps.headReqCount > ps.lastWatermark || final {
+		drain := p.rt.delta && !ps.deltaEnded
+		if ps.headReqCount > ps.lastWatermark || final || drain {
 			p.send(msg.Message{Kind: msg.End, To: p.node.Parent, N: ps.headReqCount, All: ps.parentReqEnd})
 			ps.lastWatermark = ps.headReqCount
+			ps.deltaEnded = true
 			if ps.parentReqEnd {
 				ps.allSent = true
 			}
@@ -496,9 +501,11 @@ func (ps *partState) confirmedEnd() {
 
 func (ps *partState) emitEnd(cs *customerState) {
 	final := cs.reqEnd && !ps.allSent
-	if cs.reqCount > ps.lastWatermark || final {
+	drain := ps.p.rt.delta && !cs.deltaEnded
+	if cs.reqCount > ps.lastWatermark || final || drain {
 		ps.p.send(msg.Message{Kind: msg.End, To: cs.id, N: cs.reqCount, All: cs.reqEnd})
 		ps.lastWatermark = cs.reqCount
+		cs.deltaEnded = true
 		if cs.reqEnd {
 			ps.allSent = true
 		}

@@ -31,8 +31,43 @@
 //	. <n> plan=hit|miss  terminal: n answers; was the plan reused?
 //	E <message>          terminal instead of ".": the query failed
 //
+// A line "fact <atom>." adds one ground fact to the EDB — the wire form
+// of System.AddFact, and what makes subscriptions (below) drivable by
+// remote writers. The reply is one line:
+//
+//	+ <a> v=<version>    a=1: the fact was new (EDB now at <version>);
+//	                     a=0: duplicate, nothing changed
+//	E <message>          the atom was malformed or not ground
+//
+// Mutations exclude evaluations: a fact waits for in-flight query
+// evaluations to finish and conversely, so no evaluation ever observes a
+// half-applied change (delta rounds already serialize with mutations on
+// the System's mutation lock).
+//
 // Queries on one connection run sequentially; concurrency comes from
 // concurrent connections. The line "quit" (or EOF) closes the connection.
+//
+// # Subscriptions
+//
+// A line "subscribe <query>" dedicates the connection to a live view of
+// that query (see doc/SUBSCRIPTIONS.md): the server streams the current
+// answer set as T lines, then holds the connection open and streams each
+// delta — the answers made newly derivable by AddFact/LoadData mutations —
+// as further T lines. Every round ends with a frame line
+//
+//	~ <n> v=<version>   n tuples in this round; EDB version it covers
+//
+// so a client knows when the initial set (and each later delta) is
+// complete. The first frame is sent even when the initial answer set is
+// empty; later frames are only sent for rounds that derived something.
+// The initial round passes fair admission like any query; delta rounds
+// bypass it — they are serialized per System by the mutation lock and
+// touch only the delta. A subscription ends with an E line when the query
+// is invalid, the evaluation fails, or the server shuts down
+// ("E shutting down"); the client ends it by sending "quit" or closing
+// the connection. Version bumps reach subscribers only after the fact is
+// visible and the result cache's key version has moved, so a subscriber
+// reacting to a frame never sees a stale cached answer set.
 package serve
 
 import (
@@ -49,6 +84,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/parser"
 	"repro/internal/trace"
 )
 
@@ -137,6 +173,14 @@ type Server struct {
 	stopEval context.CancelFunc
 	once     sync.Once
 	wg       sync.WaitGroup // live connections
+
+	// evalMu excludes wire mutations ("fact" lines) from in-flight
+	// evaluations: AddFact is documented as unsafe against a running
+	// evaluation, so evaluations hold the read side while the fact
+	// directive takes the write side. Subscription rounds do not
+	// participate — they already serialize with mutations on the
+	// System's own mutation lock.
+	evalMu sync.RWMutex
 
 	mu        sync.Mutex
 	draining  bool
@@ -292,6 +336,24 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if src, ok := strings.CutPrefix(line, "subscribe "); ok {
+			s.serveSubscribe(tenant, strings.TrimSpace(src), sc, w)
+			return
+		}
+		if src, ok := strings.CutPrefix(line, "fact "); ok {
+			if !s.beginQuery() {
+				fmt.Fprintf(w, "E %s\n", ErrShuttingDown)
+				w.Flush()
+				return
+			}
+			s.serveFact(strings.TrimSpace(src), w)
+			ferr := w.Flush()
+			s.endQuery()
+			if ferr != nil {
+				return
+			}
+			continue
+		}
 		if !s.beginQuery() {
 			fmt.Fprintf(w, "E %s\n", ErrShuttingDown)
 			w.Flush()
@@ -329,11 +391,144 @@ func (s *Server) serveLine(tenant, src string, w io.Writer) {
 	fmt.Fprintf(w, ". %d plan=%s\n", n, planWord(reused))
 }
 
+// serveFact applies one "fact <atom>." line: parse the ground atom, add
+// it to the System under the write side of evalMu (no evaluation may be
+// mid-flight), and report whether it was new plus the EDB version it
+// produced. The version bump inside AddFact lands before any subscriber
+// wakes, so the "+" reply's version is already visible to result-cache
+// keying.
+func (s *Server) serveFact(src string, w io.Writer) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		fmt.Fprintf(w, "E %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	if len(prog.Facts) != 1 || len(prog.Rules) > 0 {
+		fmt.Fprintf(w, "E fact wants exactly one ground atom, e.g. fact edge(a, b).\n")
+		return
+	}
+	a := prog.Facts[0]
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			fmt.Fprintf(w, "E fact must be ground: %s has variable %s\n", a, t.Var)
+			return
+		}
+		args[i] = t.Const
+	}
+	s.evalMu.Lock()
+	added := s.sys.AddFact(a.Pred, args...)
+	s.evalMu.Unlock()
+	n := 0
+	if added {
+		n = 1
+	}
+	fmt.Fprintf(w, "+ %d v=%d\n", n, s.sys.EDBVersion())
+}
+
 func planWord(reused bool) string {
 	if reused {
 		return "hit"
 	}
 	return "miss"
+}
+
+// queryOpts translates the server's evaluation policy into per-query
+// options (shared by one-shot queries and subscriptions).
+func (s *Server) queryOpts() []mpq.Option {
+	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(s.cfg.Stats)}
+	if s.cfg.Batch {
+		opts = append(opts, mpq.WithBatching())
+	}
+	if s.cfg.Partitions >= 2 {
+		opts = append(opts, mpq.WithPartitions(s.cfg.Partitions))
+	}
+	if s.cfg.EDBDelay > 0 {
+		opts = append(opts, mpq.WithEDBDelay(s.cfg.EDBDelay))
+	}
+	return opts
+}
+
+// serveSubscribe dedicates the connection to a live subscription on src:
+// the initial answer set, then one burst of T lines per delta round, each
+// closed by a "~ <n> v=<version>" frame (grammar in the package doc).
+//
+// The initial round is the expensive one — a full evaluation — so it
+// holds an admission slot like any query. Delta rounds do not: they run
+// under the System's mutation lock (at most one round per System at a
+// time, overlapping no mutation) and process only the delta, so routing
+// them through the admitter would hold a slot across an unbounded wait
+// for the next mutation and starve query traffic.
+//
+// The subscription ends when the evaluation fails, the server shuts down
+// (terminal "E shutting down"), or the client sends "quit" / closes the
+// connection — a reader goroutine watches for those while this goroutine
+// blocks in Next.
+func (s *Server) serveSubscribe(tenant, src string, sc *bufio.Scanner, w *bufio.Writer) {
+	fail := func(err error) {
+		fmt.Fprintf(w, "E %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		w.Flush()
+	}
+	pq, args, _, err := s.sys.QueryPrepared(src, s.queryOpts()...)
+	if err != nil {
+		fail(err)
+		return
+	}
+	sub, err := pq.Subscription(args...)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.stop)
+	defer cancel()
+	go func() {
+		// The subscribe loop below never reads the connection, so watch it
+		// here: "quit" or EOF (client gone) cancels the blocked Next.
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) == "quit" {
+				break
+			}
+		}
+		cancel()
+	}()
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("subscribe %q tenant=%s", src, tenant)
+	}
+	for first := true; ; first = false {
+		if first {
+			if aerr := s.adm.acquire(ctx, tenant); aerr != nil {
+				fail(aerr)
+				return
+			}
+		}
+		t0 := time.Now()
+		rows, nerr := sub.Next(ctx)
+		if first {
+			s.adm.release(tenant, time.Since(t0))
+		}
+		if nerr != nil {
+			select {
+			case <-s.stop.Done():
+				fail(ErrShuttingDown)
+			case <-ctx.Done():
+				// Client quit or vanished: nothing left to tell it.
+			default:
+				fail(nerr)
+			}
+			return
+		}
+		for _, tuple := range rows {
+			if len(tuple) == 0 {
+				fmt.Fprintf(w, "T\n")
+			} else {
+				fmt.Fprintf(w, "T %s\n", strings.Join(tuple, "\t"))
+			}
+		}
+		fmt.Fprintf(w, "~ %d v=%d\n", len(rows), sub.Version())
+		if w.Flush() != nil {
+			return
+		}
+	}
 }
 
 // run serves one query under the server's full policy stack: plan-cache
@@ -344,17 +539,7 @@ func planWord(reused bool) string {
 func (s *Server) run(ctx context.Context, tenant, src string, emit func(tuple []string)) (reused, cached bool, err error) {
 	t0 := time.Now()
 	stats := s.cfg.Stats
-	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(stats)}
-	if s.cfg.Batch {
-		opts = append(opts, mpq.WithBatching())
-	}
-	if s.cfg.Partitions >= 2 {
-		opts = append(opts, mpq.WithPartitions(s.cfg.Partitions))
-	}
-	if s.cfg.EDBDelay > 0 {
-		opts = append(opts, mpq.WithEDBDelay(s.cfg.EDBDelay))
-	}
-	pq, args, reused, err := s.sys.QueryPrepared(src, opts...)
+	pq, args, reused, err := s.sys.QueryPrepared(src, s.queryOpts()...)
 	if err != nil {
 		return false, false, err
 	}
@@ -410,15 +595,25 @@ func (s *Server) run(ctx context.Context, tenant, src string, emit func(tuple []
 
 	var rows [][]string
 	n := 0
+	// Hold the read side of evalMu for the whole streamed evaluation so a
+	// concurrent "fact" mutation cannot land mid-run (the write side waits
+	// for every in-flight evaluation).
+	s.evalMu.RLock()
+	var evalErr error
 	for tuple, terr := range pq.Answers(ctx, args...) {
 		if terr != nil {
-			return reused, false, terr
+			evalErr = terr
+			break
 		}
 		emit(tuple)
 		if s.cache != nil {
 			rows = append(rows, tuple)
 		}
 		n++
+	}
+	s.evalMu.RUnlock()
+	if evalErr != nil {
+		return reused, false, evalErr
 	}
 	if s.cache != nil {
 		s.cache.put(key, rows)

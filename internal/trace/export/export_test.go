@@ -25,6 +25,7 @@ func TestPrometheusGolden(t *testing.T) {
 		Heartbeats: 17, Reconnects: 18, Replays: 19, PeerDowns: 20,
 		Aborts: 21, DroppedSends: 22, DroppedPuts: 23, FaultDrops: 24,
 		PlanHits: 25, PlanMisses: 26,
+		DeltaRounds: 33, DeltaSeeded: 34,
 		Workers: 27,
 		Shed:    28, ResultHits: 29, ResultMisses: 30,
 		SLOGood: 31, SLOBad: 32, BurnRateMicro: 1_500_000,
@@ -101,6 +102,12 @@ mpq_fault_injected_drops_total 24
 # TYPE mpq_plan_cache_total counter
 mpq_plan_cache_total{result="hit"} 25
 mpq_plan_cache_total{result="miss"} 26
+# HELP mpq_delta_rounds_total Incremental delta rounds evaluated through retained plans (subscriptions).
+# TYPE mpq_delta_rounds_total counter
+mpq_delta_rounds_total 33
+# HELP mpq_delta_seeded_tuples_total Δ base tuples seeded into EDB leaves by delta rounds.
+# TYPE mpq_delta_seeded_tuples_total counter
+mpq_delta_seeded_tuples_total 34
 # HELP mpq_partition_workers Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).
 # TYPE mpq_partition_workers gauge
 mpq_partition_workers 27

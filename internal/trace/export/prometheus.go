@@ -90,6 +90,12 @@ var promRows = []metricRow{
 		func(sn trace.Snapshot) int64 { return sn.PlanHits }},
 	{"mpq_plan_cache_total", `result="miss"`, "", "",
 		func(sn trace.Snapshot) int64 { return sn.PlanMisses }},
+	// Incremental re-evaluation (live subscriptions): delta rounds pushed
+	// through retained plans and Δ base tuples seeded at EDB leaves.
+	{"mpq_delta_rounds_total", "", "Incremental delta rounds evaluated through retained plans (subscriptions).", "counter",
+		func(sn trace.Snapshot) int64 { return sn.DeltaRounds }},
+	{"mpq_delta_seeded_tuples_total", "", "Δ base tuples seeded into EDB leaves by delta rounds.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.DeltaSeeded }},
 	// Hash-partitioned data parallelism: worker-shard goroutines spawned by
 	// the current/latest evaluation (0 = all nodes sequential).
 	{"mpq_partition_workers", "", "Worker shards serving partitioned node processes (gauge; 0 when evaluating sequentially).", "gauge",

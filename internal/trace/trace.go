@@ -48,6 +48,14 @@ type Stats struct {
 	planHits   atomic.Int64
 	planMisses atomic.Int64
 
+	// Incremental (delta) re-evaluation counters: delta rounds driven
+	// through a retained plan (engine.Incremental) and the Δ base tuples
+	// those rounds seeded at EDB leaves. A delta round re-runs the Fig 2
+	// termination machinery, so Rounds still counts its protocol rounds;
+	// DeltaRounds counts the evaluations themselves.
+	deltaRounds atomic.Int64
+	deltaSeeded atomic.Int64
+
 	// workers is a gauge, not a monotone counter: the total worker-shard
 	// goroutine count of the most recent evaluation's partition plan
 	// (engine.Options.Partitions), 0 when that evaluation ran unpartitioned.
@@ -100,6 +108,8 @@ func (s *Stats) DroppedPuts(n int64) { s.droppedPuts.Add(n) }
 func (s *Stats) FaultDrop()          { s.faultDrops.Add(1) }
 func (s *Stats) PlanHit()            { s.planHits.Add(1) }
 func (s *Stats) PlanMiss()           { s.planMisses.Add(1) }
+func (s *Stats) DeltaRound()         { s.deltaRounds.Add(1) }
+func (s *Stats) DeltaSeeded(n int64) { s.deltaSeeded.Add(n) }
 
 // SetWorkers records the worker-shard goroutine count of an evaluation's
 // partition plan (a gauge: the latest evaluation wins).
@@ -150,6 +160,10 @@ type Snapshot struct {
 	// Plan-cache lookups: a hit reused a compiled rule/goal graph, a miss
 	// compiled a fresh one (see System.Query and engine.Plan).
 	PlanHits, PlanMisses int64
+	// Incremental re-evaluation: delta rounds run through retained plans
+	// and Δ base tuples seeded at EDB leaves during them (see
+	// engine.Incremental and doc/SUBSCRIPTIONS.md).
+	DeltaRounds, DeltaSeeded int64
 	// Workers is a gauge: the worker-shard goroutine count of the most
 	// recent evaluation's partition plan (engine.Options.Partitions), 0
 	// when it ran unpartitioned.
@@ -197,6 +211,8 @@ func (s *Stats) Snapshot() Snapshot {
 		FaultDrops:   s.faultDrops.Load(),
 		PlanHits:     s.planHits.Load(),
 		PlanMisses:   s.planMisses.Load(),
+		DeltaRounds:  s.deltaRounds.Load(),
+		DeltaSeeded:  s.deltaSeeded.Load(),
 		Workers:      s.workers.Load(),
 		Shed:         s.shed.Load(),
 		ResultHits:   s.resultHits.Load(),
@@ -239,6 +255,9 @@ func (sn Snapshot) String() string {
 	}
 	if sn.PlanHits+sn.PlanMisses > 0 {
 		fmt.Fprintf(&b, " planhits=%d planmisses=%d", sn.PlanHits, sn.PlanMisses)
+	}
+	if sn.DeltaRounds > 0 {
+		fmt.Fprintf(&b, " deltarounds=%d deltaseeded=%d", sn.DeltaRounds, sn.DeltaSeeded)
 	}
 	if sn.Shed+sn.ResultHits+sn.ResultMisses > 0 {
 		fmt.Fprintf(&b, " shed=%d resulthits=%d resultmisses=%d", sn.Shed, sn.ResultHits, sn.ResultMisses)

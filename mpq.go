@@ -108,6 +108,38 @@ type System struct {
 
 	mu    sync.Mutex // serializes mutation and index warming
 	plans planCache  // compiled query shapes, LRU (see Query)
+
+	// subMu guards subCh, the mutation wake-up channel for subscriptions.
+	// notifyMutation closes it (waking every waiter) strictly after the
+	// database version bump is visible, so a woken subscriber that re-reads
+	// EDBVersion always observes the mutation it was woken for.
+	subMu sync.Mutex
+	subCh chan struct{}
+}
+
+// wakeChan returns a channel that the next successful mutation closes.
+// Subscribers must obtain the channel BEFORE reading EDBVersion: then a
+// mutation that lands between the version read and the wait still closes
+// this (already obtained) channel, so no wake-up is ever lost.
+func (s *System) wakeChan() <-chan struct{} {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subCh == nil {
+		s.subCh = make(chan struct{})
+	}
+	return s.subCh
+}
+
+// notifyMutation wakes subscription waiters. Callers invoke it after
+// releasing s.mu, so the version bump (and result-cache invalidation that
+// keys on it) is already visible to anything the wake-up unblocks.
+func (s *System) notifyMutation() {
+	s.subMu.Lock()
+	if s.subCh != nil {
+		close(s.subCh)
+		s.subCh = nil
+	}
+	s.subMu.Unlock()
 }
 
 // Load parses and validates Datalog source, loading its facts into a fresh
@@ -151,9 +183,12 @@ func MustLoad(source string) *System {
 // new. All engines see the loaded facts.
 func (s *System) LoadData(pred, path string) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	added, err := s.DB.LoadFile(pred, path)
 	s.Program.Facts = append(s.Program.Facts, added...)
+	s.mu.Unlock()
+	if len(added) > 0 {
+		s.notifyMutation()
+	}
 	return len(added), err
 }
 
@@ -173,7 +208,6 @@ func (s *System) ensureWarmFor(g *rgg.Graph) {
 // against a running evaluation — see the System doc).
 func (s *System) AddFact(pred string, args ...string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	added := s.DB.Add(pred, args...)
 	if added {
 		a := ast.Atom{Pred: pred}
@@ -181,6 +215,10 @@ func (s *System) AddFact(pred string, args ...string) bool {
 			a.Args = append(a.Args, ast.C(v))
 		}
 		s.Program.Facts = append(s.Program.Facts, a)
+	}
+	s.mu.Unlock()
+	if added {
+		s.notifyMutation()
 	}
 	return added
 }

@@ -342,3 +342,63 @@ func TestAddFactDuringWarming(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestPreparedSlicedLeafSeesNewFacts: shard and worker leaves hold private
+// slices of the base relations, carved out when the plan is built; facts
+// added afterwards must be folded in on the next evaluation (goalState
+// refreshEDBSlice), or a pooled partitioned plan silently serves a frozen
+// snapshot. The cyclic answers below need the two post-Prepare edges to
+// join with each other inside the recursion, which is exactly what a
+// stale slice loses first.
+func TestPreparedSlicedLeafSeesNewFacts(t *testing.T) {
+	s := MustLoad(`
+		edge(n0, n1).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(X, Y) :- path(X, Y).
+	`)
+	pq, err := s.Prepare(`?- path(X, Y).`, WithPartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans, err := pq.Eval(nil); err != nil || len(ans.Tuples) != 1 {
+		t.Fatalf("before mutation: %v, %v (want 1 tuple)", ans, err)
+	}
+	s.AddFact("edge", "n7", "n5")
+	s.AddFact("edge", "n6", "n1")
+	s.AddFact("edge", "n5", "n7")
+	want := freshTCAnswers(t, s)
+	for i := 0; i < 3; i++ {
+		ans, err := pq.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ans.Tuples, want) {
+			t.Fatalf("run %d after mutation: %v, want %v", i, ans.Tuples, want)
+		}
+	}
+}
+
+// freshTCAnswers evaluates the system's current facts with a brand-new
+// unpartitioned System — the oracle for the mutated-plan tests.
+func freshTCAnswers(t *testing.T, s *System) [][]string {
+	t.Helper()
+	src := `
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, U), edge(U, Y).
+		goal(X, Y) :- path(X, Y).
+	`
+	f := MustLoad(src + "edge(n0, n1).")
+	for _, a := range s.Program.Facts {
+		args := make([]string, len(a.Args))
+		for i, arg := range a.Args {
+			args[i] = arg.Const
+		}
+		f.AddFact(a.Pred, args...)
+	}
+	ans, err := f.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.Tuples
+}

@@ -44,3 +44,8 @@ go test -race "$@" ./...
 # suite pinned to one CPU and spread over four, so worker-shard schedules
 # that only misbehave at a particular GOMAXPROCS still surface.
 go test -race -cpu=1,4 "$@" ./internal/engine/
+# Subscription soak: live subscriptions racing wire mutations (and the
+# mutation/wake ordering that keeps result caches fresh) re-run twice so
+# one-in-two schedules still surface; see doc/SUBSCRIPTIONS.md.
+go test -race -count=2 -run 'TestServeSubscribe|TestServeFact|TestSubscription|TestSubscribe|TestAddFactWake' \
+	"$@" ./internal/serve/ .
