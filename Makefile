@@ -25,7 +25,7 @@ chaos:
 docs:
 	./scripts/check.sh docs
 
-# Perf-regression release gate: re-measure the committed BENCH_4/5/6
+# Perf-regression release gate: re-measure the committed BENCH_4/5/6/8
 # headline ratios on this tree, nonzero exit past the noise floor.
 gate:
 	./scripts/check.sh gate

@@ -1,0 +1,285 @@
+package mpq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/costmodel"
+	"repro/internal/rgg"
+	"repro/internal/trace"
+)
+
+// AutoStrategy is the WithStrategy name that enables adaptive planning:
+// the system snapshots the EDB's statistics (cardinalities + per-column
+// distinct sketches, see edb.Stats), scores every candidate strategy's
+// compiled graph under the stats-backed cost model, and evaluates through
+// the cheapest one. Cached auto plans are re-optimized when the
+// statistics drift past the threshold (WithReoptThreshold); see
+// doc/PLANNING.md for the decision rules.
+const AutoStrategy = "auto"
+
+// ErrNoStats reports that auto planning found no EDB statistics to work
+// from (an empty database). The planner does not fail: it falls back to
+// the greedy strategy and records this sentinel in AutoChoice.Fallback,
+// so callers can distinguish a costed decision from a default. Test with
+// errors.Is.
+var ErrNoStats = costmodel.ErrNoStats
+
+// DefaultReoptThreshold is the statistics-drift fraction past which a
+// cached auto plan is re-optimized: re-planning triggers when the EDB has
+// grown by half again since the plan's statistics were read (see
+// WithReoptThreshold).
+const DefaultReoptThreshold = 0.5
+
+// reoptMinEpoch floors the drift ratio's denominator so a nearly empty
+// database (epoch of a few facts) does not re-plan on every insert.
+const reoptMinEpoch = 16
+
+// AutoChoice records one adaptive-planning decision.
+type AutoChoice struct {
+	// Strategy is the winning candidate: "greedy", "qualtree",
+	// "leftright", or "cost" (exhaustive ordering under the stats-backed
+	// model, rgg.TableStrategy).
+	Strategy string
+	// CostLog is the winner's estimated log10 cost (rgg.GraphCostLog).
+	CostLog float64
+	// Candidates maps every scored candidate to its estimated log10 cost.
+	// Empty when planning fell back (no statistics).
+	Candidates map[string]float64
+	// StatsEpoch is the EDB version the planning statistics were read at.
+	StatsEpoch uint64
+	// StatsRows is the total EDB cardinality those statistics described.
+	StatsRows int
+	// Fallback is non-nil when no statistics were available and the
+	// greedy default was used; it satisfies errors.Is(·, ErrNoStats).
+	Fallback error
+
+	// strat replays the winning strategy (for engines that re-derive
+	// SIPs from it, e.g. the magic-sets rewrite).
+	strat rgg.Strategy
+}
+
+// autoCandidates is the fixed scoring order; ties go to the earliest, so
+// greedy — the paper's default — wins when the model cannot separate.
+var autoCandidates = []string{"greedy", "qualtree", "leftright", "cost"}
+
+// candidateStrategy maps an auto-candidate name to its strategy.
+func candidateStrategy(name string, t *costmodel.Table) rgg.Strategy {
+	switch name {
+	case "qualtree":
+		return rgg.QualTreeStrategy
+	case "leftright":
+		return rgg.LeftToRightStrategy
+	case "cost":
+		return rgg.TableStrategy(t)
+	default:
+		return rgg.GreedyStrategy
+	}
+}
+
+// chooseAuto runs one adaptive-planning decision for prog under rootAd:
+// snapshot statistics, build every candidate's graph, score each under
+// the stats-backed cost model, keep the cheapest. With no statistics it
+// falls back to greedy and records ErrNoStats. The decision and the
+// statistics refresh are counted into st (StrategyAuto*, StatsRefreshes).
+func (s *System) chooseAuto(prog *ast.Program, rootAd adorn.Adornment, st *trace.Stats) (*rgg.Graph, *AutoChoice, error) {
+	est := s.DB.Stats()
+	if st != nil {
+		st.StatsRefresh()
+	}
+	choice := &AutoChoice{StatsEpoch: est.Epoch, StatsRows: est.Rows}
+	table, err := costmodel.FromStats(est)
+	if err != nil {
+		choice.Strategy = "greedy"
+		choice.strat = rgg.GreedyStrategy
+		choice.Fallback = fmt.Errorf("mpq: auto planning fell back to greedy: %w", err)
+		g, berr := rgg.Build(prog, rgg.Options{Strategy: rgg.GreedyStrategy, RootAd: rootAd})
+		if berr != nil {
+			return nil, nil, berr
+		}
+		if st != nil {
+			st.StrategyAuto(choice.Strategy)
+		}
+		return g, choice, nil
+	}
+	choice.Candidates = make(map[string]float64, len(autoCandidates))
+	var bestG *rgg.Graph
+	best := math.Inf(1)
+	for _, name := range autoCandidates {
+		strat := candidateStrategy(name, table)
+		g, berr := rgg.Build(prog, rgg.Options{Strategy: strat, RootAd: rootAd})
+		if berr != nil {
+			return nil, nil, berr
+		}
+		cost := rgg.GraphCostLog(g, table)
+		choice.Candidates[name] = cost
+		if cost < best {
+			best, bestG = cost, g
+			choice.Strategy, choice.strat = name, strat
+		}
+	}
+	choice.CostLog = best
+	if st != nil {
+		st.StrategyAuto(choice.Strategy)
+	}
+	return bestG, choice, nil
+}
+
+// buildGraph compiles the rule/goal graph for prog under the configured
+// strategy, running the auto planner when strategy=auto. The returned
+// AutoChoice is nil for manual strategies.
+func (s *System) buildGraph(prog *ast.Program, rootAd adorn.Adornment, cfg *config) (*rgg.Graph, *AutoChoice, error) {
+	if normStrategy(cfg.strategyName) != AutoStrategy {
+		g, err := rgg.Build(prog, rgg.Options{Strategy: s.resolveStrategy(cfg), RootAd: rootAd})
+		return g, nil, err
+	}
+	return s.chooseAuto(prog, rootAd, cfg.stats)
+}
+
+// Choice returns the auto planner's decision behind this plan, or nil
+// when it was prepared with a manual strategy.
+func (pq *PreparedQuery) Choice() *AutoChoice { return pq.choice }
+
+// ChosenStrategy names the strategy the plan actually compiled with: the
+// auto planner's winning candidate, or the manual strategy as requested.
+func (pq *PreparedQuery) ChosenStrategy() string {
+	if pq.choice != nil {
+		return pq.choice.Strategy
+	}
+	return pq.strategy
+}
+
+// PlanSummary is the one-line plan description the serving layer logs on
+// plan-cache misses: the chosen strategy (with the auto provenance and
+// estimated log10 cost when adaptive planning ran).
+func (pq *PreparedQuery) PlanSummary() string {
+	c := pq.choice
+	if c == nil {
+		return "strategy=" + pq.strategy
+	}
+	if c.Fallback != nil {
+		return fmt.Sprintf("strategy=%s(auto fallback: no stats)", c.Strategy)
+	}
+	return fmt.Sprintf("strategy=%s(auto) est_cost_log10=%.2f stats_epoch=%d", c.Strategy, c.CostLog, c.StatsEpoch)
+}
+
+// ExplainPlan renders the compiled plan as an indented tree (the same
+// conventions as the bottomup proof explainer): one line per rule node in
+// the rule/goal graph, each followed by its subgoals in SIP evaluation
+// order with their estimated retrieval sizes under the current EDB
+// statistics. For auto plans the header also reports every candidate's
+// score, so "why this strategy" is answerable from the output alone.
+func (pq *PreparedQuery) ExplainPlan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s %s\n", pq.shape, pq.PlanSummary())
+	writeCandidates(&b, pq.choice)
+	explainGraph(&b, pq.plan.Graph(), pq.sys)
+	return b.String()
+}
+
+// ExplainPlan compiles the program's query under the configured strategy
+// (WithStrategy; "auto" runs the adaptive planner) and renders the plan
+// tree without evaluating it, returning the text and the plan's total
+// estimated log10 cost — the "estimated" half of `mpq -explain plan`'s
+// estimated-vs-observed report.
+func (s *System) ExplainPlan(opts ...Option) (string, float64, error) {
+	cfg := config{engine: MessagePassing}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g, choice, err := s.buildGraph(s.Program, nil, &cfg)
+	if err != nil {
+		return "", 0, err
+	}
+	var b strings.Builder
+	if choice != nil {
+		if choice.Fallback != nil {
+			fmt.Fprintf(&b, "plan strategy=%s(auto fallback: no stats)\n", choice.Strategy)
+		} else {
+			fmt.Fprintf(&b, "plan strategy=%s(auto) est_cost_log10=%.2f stats_epoch=%d\n",
+				choice.Strategy, choice.CostLog, choice.StatsEpoch)
+		}
+	} else {
+		fmt.Fprintf(&b, "plan strategy=%s\n", normStrategy(cfg.strategyName))
+	}
+	writeCandidates(&b, choice)
+	est := explainGraph(&b, g, s)
+	return b.String(), est, nil
+}
+
+// writeCandidates appends the auto planner's scoreboard line ("why this
+// strategy"): every candidate's estimated log10 cost, the winner starred.
+func writeCandidates(b *strings.Builder, c *AutoChoice) {
+	if c == nil || len(c.Candidates) == 0 {
+		return
+	}
+	names := make([]string, 0, len(c.Candidates))
+	for n := range c.Candidates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("  candidates:")
+	for _, n := range names {
+		marker := ""
+		if n == c.Strategy {
+			marker = "*"
+		}
+		fmt.Fprintf(b, " %s=%.2f%s", n, c.Candidates[n], marker)
+	}
+	b.WriteString("\n")
+}
+
+// explainGraph renders every rule node's SIP order and per-step
+// intermediate-size estimates under the current EDB statistics (falling
+// back to the fixed §4.3 model when the database is empty) and returns
+// the graph's total estimated log10 cost under the same model.
+func explainGraph(b *strings.Builder, g *rgg.Graph, sys *System) float64 {
+	table, terr := costmodel.FromStats(sys.DB.Stats())
+	total := math.Inf(-1)
+	for _, n := range g.Nodes {
+		if n.Kind != rgg.Rule || n.SIP == nil {
+			continue
+		}
+		var est costmodel.Estimate
+		if terr == nil {
+			est = costmodel.EstimateSIPStats(n.SIP, table)
+		} else {
+			est = costmodel.EstimateSIP(n.SIP, costmodel.Default())
+		}
+		total = addLogCost(total, est.CostLog)
+		fmt.Fprintf(b, "  rule %s order=%v est_cost_log10=%.2f\n", n.Rule, n.SIP.Order, est.CostLog)
+		for step, i := range n.SIP.Order {
+			size := math.Inf(-1)
+			if step < len(est.StepSizes) {
+				size = est.StepSizes[step]
+			}
+			fmt.Fprintf(b, "    %d. %s [intermediate ~10^%.1f rows]\n", step+1, n.Rule.Body[i], size)
+		}
+	}
+	if terr != nil {
+		fmt.Fprintf(b, "  [no EDB statistics; estimates use the fixed §4.3 model]\n")
+	}
+	if math.IsInf(total, -1) {
+		return 0
+	}
+	return total
+}
+
+// addLogCost sums two log10 quantities (log10(10^a + 10^b)), tolerating
+// the -Inf identity.
+func addLogCost(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log10(1+math.Pow(10, b-a))
+}

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+// a10Strategies are the fixed (hand-picked) strategies A10 compares the
+// adaptive planner against. No single one is best on every workload —
+// that is the point of the suite.
+var a10Strategies = []string{"greedy", "qualtree", "leftright", "stats"}
+
+// a10Workload is one member of the mixed suite: a program, its data
+// loader, and a one-line account of which fixed strategy it traps.
+type a10Workload struct {
+	name  string
+	desc  string
+	rules string
+	load  func(sys *mpq.System, quick bool)
+}
+
+// a10Scale shrinks a full-size workload parameter for -quick / gate runs.
+func a10Scale(quick bool, full int) int {
+	if quick {
+		return full / 5
+	}
+	return full
+}
+
+// a10Workloads: each workload is adversarial for at least one fixed
+// strategy, and no fixed strategy is best on all three.
+var a10Workloads = []a10Workload{
+	{
+		name: "scan_trap",
+		desc: "selective constant-bound subgoal written second; textual order scans the giant relation",
+		rules: `
+			giant(g0, v0). pick(g0, sel).
+			goal(Y) :- giant(X, Y), pick(X, sel).
+		`,
+		load: func(sys *mpq.System, quick bool) {
+			n := a10Scale(quick, 20000)
+			keys := n / 10
+			for i := 0; i < n; i++ {
+				sys.AddFact("giant", fmt.Sprintf("g%d", i%keys), fmt.Sprintf("v%d", i))
+			}
+			sys.AddFact("pick", "g1", "sel")
+			sys.AddFact("pick", "g2", "nope")
+		},
+	},
+	{
+		name: "bound_trap",
+		desc: "two bound constants on a huge low-selectivity relation; bound-argument counting starts there, statistics start at the tiny filter",
+		rules: `
+			skew(a, b, z0). tiny(z0, t).
+			goal(Z) :- skew(a, b, Z), tiny(Z, t).
+		`,
+		load: func(sys *mpq.System, quick bool) {
+			n := a10Scale(quick, 20000)
+			for i := 1; i < n; i++ {
+				if i%2 == 0 {
+					sys.AddFact("skew", "a", "b", fmt.Sprintf("z%d", i))
+				} else {
+					sys.AddFact("skew", "c", "d", fmt.Sprintf("z%d", i))
+				}
+			}
+			sys.AddFact("tiny", "z2", "t")
+			sys.AddFact("tiny", "z4", "t")
+			sys.AddFact("tiny", "z6", "u")
+		},
+	},
+	{
+		name: "idb_trap",
+		desc: "recursive closure next to a huge irrelevant relation; the myopic stats ordering prices the IDB subgoal off the big table and demotes it",
+		rules: `
+			edge(c0, c1). noise(u0, w0).
+			path(X, Y) :- edge(X, Y).
+			path(X, Y) :- path(X, U), edge(U, Y).
+			goal(Y) :- path(c0, Y).
+		`,
+		load: func(sys *mpq.System, quick bool) {
+			m := a10Scale(quick, 400)
+			for i := 1; i < m; i++ {
+				sys.AddFact("edge", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1))
+			}
+			n := a10Scale(quick, 20000)
+			for i := 1; i < n; i++ {
+				sys.AddFact("noise", fmt.Sprintf("u%d", i), fmt.Sprintf("w%d", i))
+			}
+		},
+	},
+}
+
+// a10WorkloadResult is one workload's measurements across all strategies.
+type a10WorkloadResult struct {
+	Name          string           `json:"name"`
+	Description   string           `json:"description"`
+	Rows          map[string]int64 `json:"rows_processed"`
+	BestFixed     string           `json:"best_fixed"`
+	WorstFixed    string           `json:"worst_fixed"`
+	AutoChoice    string           `json:"auto_choice"`
+	AutoVsBestX   float64          `json:"auto_vs_best_fixed_x"`
+	WorstVsBestX  float64          `json:"worst_vs_best_fixed_x"`
+	ByteIdentical bool             `json:"byte_identical"`
+}
+
+// a10Result is the BENCH_8.json payload.
+type a10Result struct {
+	Workloads       []a10WorkloadResult `json:"workloads"`
+	AutoWorstCaseX  float64             `json:"auto_vs_best_worst_case_x"`
+	MaxWorstVsBestX float64             `json:"worst_vs_best_max_x"`
+	ByteIdentical   bool                `json:"byte_identical"`
+
+	// Drift re-optimization scenario: prepare on a tiny EDB, bulk-load a
+	// distribution that flips the best ordering, query again.
+	PlanReopts       int64 `json:"plan_reopts"`
+	StatsRefreshes   int64 `json:"stats_refreshes"`
+	ReoptChangedPlan bool  `json:"reopt_changed_plan"`
+}
+
+// a10Checks are the acceptance criteria. Rows processed is deterministic
+// for a given program + data + strategy, so the bounds are tight.
+func (r a10Result) a10Checks() map[string]bool {
+	return map[string]bool{
+		"auto_within_noise_of_best_fixed_everywhere": r.AutoWorstCaseX <= 1.10,
+		"worst_fixed_at_least_2x_somewhere":          r.MaxWorstVsBestX >= 2,
+		"byte_identical_across_strategies":           r.ByteIdentical,
+		"drift_reopt_observed":                       r.PlanReopts >= 1,
+		"reopt_changed_cached_plan":                  r.ReoptChangedPlan,
+	}
+}
+
+// a10Run loads one workload fresh and evaluates it under one strategy,
+// returning the rows-processed count, the rendered answer set, and — for
+// auto — the planner's winning candidate.
+func a10Run(w a10Workload, strategy string, quick bool) (rows int64, answers, choice string) {
+	sys := mpq.MustLoad(w.rules)
+	w.load(sys, quick)
+	st := &trace.Stats{}
+	ans, err := sys.Eval(mpq.WithStrategy(strategy), mpq.WithStats(st))
+	if err != nil {
+		panic(fmt.Sprintf("A10 %s/%s: %v", w.name, strategy, err))
+	}
+	if strategy == "auto" {
+		text, _, err := sys.ExplainPlan(mpq.WithStrategy("auto"))
+		if err != nil {
+			panic(err)
+		}
+		// First line: "plan strategy=<name>(auto) ..."
+		if _, rest, ok := strings.Cut(text, "strategy="); ok {
+			choice, _, _ = strings.Cut(rest, "(")
+		}
+	}
+	return workRows(st.Snapshot()), fmt.Sprint(ans.Tuples), choice
+}
+
+// a10MeasureWorkload runs every strategy plus auto over one workload.
+func a10MeasureWorkload(w a10Workload, quick bool) a10WorkloadResult {
+	res := a10WorkloadResult{Name: w.name, Description: w.desc,
+		Rows: make(map[string]int64), ByteIdentical: true}
+	var want string
+	for _, s := range append(append([]string{}, a10Strategies...), "auto") {
+		rows, answers, choice := a10Run(w, s, quick)
+		res.Rows[s] = rows
+		if s == "auto" {
+			res.AutoChoice = choice
+		}
+		if want == "" {
+			want = answers
+		} else if answers != want {
+			res.ByteIdentical = false
+		}
+	}
+	for _, s := range a10Strategies {
+		if res.BestFixed == "" || res.Rows[s] < res.Rows[res.BestFixed] {
+			res.BestFixed = s
+		}
+		if res.WorstFixed == "" || res.Rows[s] > res.Rows[res.WorstFixed] {
+			res.WorstFixed = s
+		}
+	}
+	best := float64(res.Rows[res.BestFixed])
+	if best > 0 {
+		res.AutoVsBestX = float64(res.Rows["auto"]) / best
+		res.WorstVsBestX = float64(res.Rows[res.WorstFixed]) / best
+	}
+	return res
+}
+
+// a10Reopt is the drift scenario: an auto plan cached against a tiny EDB
+// must be re-optimized — observably, via the PlanReopts counter and a
+// changed cache key — after a bulk load flips which ordering is cheapest.
+func a10Reopt(quick bool) (reopts, refreshes int64, changed bool) {
+	sys := mpq.MustLoad(`
+		r(k0, v0). s(k0).
+		goal(Y) :- r(X, Y), s(X).
+	`)
+	st := &trace.Stats{}
+	opts := []mpq.Option{mpq.WithStrategy("auto"), mpq.WithStats(st)}
+	const q = "?- r(X, Y), s(X)."
+	if _, err := sys.Query(nil, q, opts...); err != nil {
+		panic(err)
+	}
+	pq0, _, _, err := sys.QueryPrepared(q, opts...)
+	if err != nil {
+		panic(err)
+	}
+	key0 := pq0.CacheKey()
+	n := a10Scale(quick, 10000)
+	for i := 0; i < n; i++ {
+		sys.AddFact("r", fmt.Sprintf("k%d", i%5), fmt.Sprintf("v%d", i))
+	}
+	sys.AddFact("s", "k3")
+	if _, err := sys.Query(nil, q, opts...); err != nil {
+		panic(err)
+	}
+	pq1, _, _, err := sys.QueryPrepared(q, opts...)
+	if err != nil {
+		panic(err)
+	}
+	snap := st.Snapshot()
+	return snap.PlanReopts, snap.StatsRefreshes, pq1.CacheKey() != key0
+}
+
+// a10Measure runs the whole suite.
+func a10Measure(quick bool) a10Result {
+	r := a10Result{ByteIdentical: true}
+	for _, w := range a10Workloads {
+		wr := a10MeasureWorkload(w, quick)
+		r.Workloads = append(r.Workloads, wr)
+		if wr.AutoVsBestX > r.AutoWorstCaseX {
+			r.AutoWorstCaseX = wr.AutoVsBestX
+		}
+		if wr.WorstVsBestX > r.MaxWorstVsBestX {
+			r.MaxWorstVsBestX = wr.WorstVsBestX
+		}
+		r.ByteIdentical = r.ByteIdentical && wr.ByteIdentical
+	}
+	r.PlanReopts, r.StatsRefreshes, r.ReoptChangedPlan = a10Reopt(quick)
+	return r
+}
+
+// a10Adaptive is experiment A10: statistics-driven adaptive planning
+// against every fixed strategy on a mixed workload suite, plus the drift
+// re-optimization scenario. With -json the measurements are written out
+// as BENCH_8.json.
+func a10Adaptive(quick bool) {
+	header("A10", "adaptive planning (auto strategy + drift re-optimization)",
+		"no fixed SIP strategy is best on every workload; costing each candidate against live EDB statistics tracks the per-workload best, and cached plans follow the data as it drifts")
+
+	r := a10Measure(quick)
+
+	row("workload", "greedy", "qualtree", "leftright", "stats", "auto", "auto picked")
+	row("---", "---", "---", "---", "---", "---", "---")
+	for _, w := range r.Workloads {
+		row(w.Name, w.Rows["greedy"], w.Rows["qualtree"], w.Rows["leftright"],
+			w.Rows["stats"], w.Rows["auto"], w.AutoChoice)
+	}
+	fmt.Println()
+	for _, w := range r.Workloads {
+		fmt.Printf("%-10s best fixed %s, worst fixed %s (%.1fx worse), auto %.2fx of best\n",
+			w.Name, w.BestFixed, w.WorstFixed, w.WorstVsBestX, w.AutoVsBestX)
+	}
+	fmt.Printf("\ndrift scenario: plan re-opts %d, stats refreshes %d, cached plan changed: %v\n",
+		r.PlanReopts, r.StatsRefreshes, r.ReoptChangedPlan)
+
+	checks := r.a10Checks()
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println()
+	for _, name := range names {
+		verdict := "PASS"
+		if !checks[name] {
+			verdict = "FAIL"
+		}
+		fmt.Printf("check %-42s %s\n", name, verdict)
+	}
+
+	if jsonOut != "" {
+		record := struct {
+			Record      string          `json:"record"`
+			Description string          `json:"description"`
+			Machine     map[string]any  `json:"machine"`
+			Adaptive    a10Result       `json:"adaptive"`
+			Checks      map[string]bool `json:"checks"`
+			Commentary  string          `json:"commentary"`
+		}{
+			Record: "BENCH_8",
+			Description: "Statistics-driven adaptive planning: a three-workload suite where " +
+				"each fixed SIP strategy is trapped by at least one workload (textual order " +
+				"by a giant scan, bound-argument counting by a low-selectivity constant " +
+				"pattern, myopic statistics by an IDB subgoal priced off an irrelevant big " +
+				"table). strategy=auto scores every candidate's compiled graph under the " +
+				"EDB-statistics cost model and evaluates through the cheapest; rows " +
+				"processed (tuple-request + tuple-delivery + EDB-leaf rows, deterministic) " +
+				"is the measure. The drift half prepares an auto plan on a tiny EDB, " +
+				"bulk-loads a distribution that flips the best ordering, and observes the " +
+				"cached plan re-optimize (mpq_plan_reopt_total). Reproduce with " +
+				"`go run ./cmd/bench -e A10 -json BENCH_8.json`. The auto-within-noise, " +
+				"2x-spread, and re-opt checks are re-measured quick in `bench -gate`.",
+			Machine:  machineInfo(),
+			Adaptive: r,
+			Checks:   checks,
+			Commentary: "Auto never has to beat the best hand-picked strategy — it has to " +
+				"never be the trapped one. Rows processed equals the chosen candidate's " +
+				"rows exactly (planning reads statistics, not tuples), so auto matching " +
+				"the per-workload best within the noise bound means the cost model ranked " +
+				"the candidates correctly on every workload; the 'cost' candidate can " +
+				"also beat every fixed strategy outright, as in the bound_trap workload, " +
+				"because exhaustive ordering under real selectivities is not limited to " +
+				"the orders the fixed heuristics can produce. Re-optimization is cheap " +
+				"(a statistics snapshot plus candidate graph builds, no evaluation) and " +
+				"keyed into CacheKey, so serving-layer result caches can never replay " +
+				"answers across a plan change.",
+		}
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}

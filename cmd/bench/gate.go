@@ -87,10 +87,13 @@ func runGate() int {
 	var b6 struct {
 		Serving a8Result `json:"serving"`
 	}
+	var b8 struct {
+		Adaptive a10Result `json:"adaptive"`
+	}
 	for _, b := range []struct {
 		path string
 		v    any
-	}{{"BENCH_4.json", &b4}, {"BENCH_5.json", &b5}, {"BENCH_6.json", &b6}} {
+	}{{"BENCH_4.json", &b4}, {"BENCH_5.json", &b5}, {"BENCH_6.json", &b6}, {"BENCH_8.json", &b8}} {
 		if err := gateLoad(b.path, b.v); err != nil {
 			add("baseline "+b.path, "unreadable", "committed", "-", false)
 		}
@@ -206,6 +209,20 @@ func runGate() int {
 		fmt.Sprintf("%v", b6.Serving.ShedTyped), r.ShedTyped)
 	add("result_cache_identical", fmt.Sprintf("%v", r.CacheIdentical), "== true",
 		fmt.Sprintf("%v", b6.Serving.CacheIdentical), r.CacheIdentical)
+
+	// Checks 7-9 — the A10 adaptive-planning acceptance criteria, quick.
+	// Rows processed is deterministic (no wall clock involved), so the
+	// auto-within-noise bound stays tight rather than halved.
+	fmt.Println("measuring adaptive planning (BENCH_8 baseline)...")
+	r10 := a10Measure(true)
+	add("auto_vs_best_fixed_x", fmt.Sprintf("%.2f", r10.AutoWorstCaseX), "<= 1.10",
+		fmt.Sprintf("%.2f", b8.Adaptive.AutoWorstCaseX),
+		r10.AutoWorstCaseX <= 1.10 && r10.ByteIdentical)
+	add("worst_vs_best_fixed_x", fmt.Sprintf("%.1f", r10.MaxWorstVsBestX), ">= 2.0",
+		fmt.Sprintf("%.1f", b8.Adaptive.MaxWorstVsBestX), r10.MaxWorstVsBestX >= 2)
+	add("drift_plan_reopts", fmt.Sprintf("%d", r10.PlanReopts), ">= 1",
+		fmt.Sprintf("%d", b8.Adaptive.PlanReopts),
+		r10.PlanReopts >= 1 && r10.ReoptChangedPlan)
 
 	fmt.Println()
 	row("check", "measured", "bound", "baseline", "result")

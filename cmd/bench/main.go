@@ -66,6 +66,7 @@ var experiments = map[string]func(quick bool){
 	"A7":  a7Partitions,
 	"A8":  a8Serving,
 	"A9":  a9Incremental,
+	"A10": a10Adaptive,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
@@ -73,8 +74,9 @@ var experiments = map[string]func(quick bool){
 // record (BENCH_2.json), A5 its observability overhead record
 // (BENCH_3.json), A6 its prepared-query serving record (BENCH_4.json),
 // A7 its partitioned-parallelism record (BENCH_5.json), A8 its
-// multi-tenant serving record (BENCH_6.json), and A9 its incremental
-// view-maintenance record (BENCH_7.json) to the named file.
+// multi-tenant serving record (BENCH_6.json), A9 its incremental
+// view-maintenance record (BENCH_7.json), and A10 its adaptive-planning
+// record (BENCH_8.json) to the named file.
 var jsonOut string
 
 // machineInfo is the header every BENCH_*.json record carries, so perf

@@ -50,6 +50,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"runtime"
@@ -69,7 +70,7 @@ func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
 	engineName := flag.String("engine", "message-passing", "evaluation engine")
-	strategy := flag.String("strategy", "greedy", "information passing strategy: greedy, qualtree, leftright, basic, stats")
+	strategy := flag.String("strategy", "greedy", "information passing strategy: greedy, qualtree, leftright, basic, stats, auto")
 	batch := flag.Bool("batch", false, "package tuple requests (footnote 2)")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	graph := flag.Bool("graph", false, "print the rule/goal graph before evaluating")
@@ -81,7 +82,7 @@ func main() {
 	traceCap := flag.Int("trace-events", 0, "event-log ring capacity for -trace-out (0 = default 65536; oldest events drop first)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock time (message-passing engine; 0 = none)")
 	partitions := flag.Int("partitions", 0, "hash-partitioned worker shards per node process (message-passing engine; 0 = GOMAXPROCS, 1 = sequential)")
-	explain := flag.String("explain", "", "print a proof tree for a ground fact, e.g. 'path(a,d)', instead of evaluating")
+	explain := flag.String("explain", "", "'plan' prints the compiled plan (chosen strategy, SIP orders, estimated vs. observed cost); a ground fact like 'path(a,d)' prints its proof tree instead of evaluating")
 	connect := flag.String("connect", "", "client mode: send queries to an `mpqd -serve` address instead of evaluating locally")
 	tenant := flag.String("tenant", "", "-connect: admission tenant name for fair queueing and quotas (default tenant when empty)")
 	subscribe := flag.Bool("subscribe", false, "-connect: subscribe to one query and stream new answers as the server's EDB grows")
@@ -156,6 +157,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(g.Text())
+	}
+	if *explain == "plan" {
+		if err := explainPlan(sys, eng, opts); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *explain != "" {
 		if err := printProof(sys, *explain); err != nil {
@@ -378,6 +385,36 @@ func printStats(ans *mpq.Answer, eng mpq.Engine) {
 		fmt.Fprintf(os.Stderr, "iterations=%d derived=%d model=%d joins=%d\n",
 			ans.Counts.Iterations, ans.Counts.Derived, ans.Counts.ModelSize, ans.Counts.Joins)
 	}
+}
+
+// explainPlan is `mpq -explain plan`: print the compiled plan — chosen
+// strategy (with the auto planner's candidate scoreboard), each rule's
+// SIP evaluation order, and per-step size estimates — then evaluate and
+// report estimated vs. observed cost. "Observed" is rows processed: the
+// engine's tuple-traffic counters for message passing, candidate tuples
+// examined plus derivations for the bottom-up engines.
+func explainPlan(sys *mpq.System, eng mpq.Engine, opts []mpq.Option) error {
+	text, est, err := sys.ExplainPlan(opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	ans, err := sys.Eval(opts...)
+	if err != nil {
+		return err
+	}
+	var observed int64
+	if eng == mpq.MessagePassing {
+		observed = ans.Stats.TupReqRows + ans.Stats.TupleRows + ans.Stats.EDBTuples
+	} else {
+		observed = ans.Counts.Work()
+	}
+	obsLog := math.Inf(-1)
+	if observed > 0 {
+		obsLog = math.Log10(float64(observed))
+	}
+	fmt.Printf("cost: estimated ~10^%.2f rows, observed %d rows processed (~10^%.2f)\n", est, observed, obsLog)
+	return nil
 }
 
 // repl reads clauses from stdin. Facts and rules accumulate; `?- body.`

@@ -70,7 +70,8 @@ func main() {
 	programPath := flag.String("program", "", "Datalog program file (identical on every site)")
 	site := flag.Int("site", 0, "this site's index into -addrs")
 	addrList := flag.String("addrs", "", "comma-separated listen addresses, one per site, in site order")
-	strategy := flag.String("strategy", "greedy", "information passing strategy")
+	strategy := flag.String("strategy", "greedy", "information passing strategy (greedy, qualtree, leftright, basic, stats, auto)")
+	reoptThreshold := flag.Float64("reopt-threshold", 0, "-serve with -strategy auto: statistics-drift fraction that re-optimizes cached plans (0 = default, negative disables)")
 	stats := flag.Bool("stats", false, "print execution statistics (driver site)")
 	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "total window for (re)connecting to a peer site before declaring it down")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "liveness heartbeat interval per peer connection (0 disables heartbeats)")
@@ -97,6 +98,7 @@ func main() {
 	if *serveAddr != "" {
 		runServe(*serveAddr, *programPath, *metricsAddr, *drainTimeout, serve.Config{
 			Strategy:        *strategy,
+			ReoptThreshold:  *reoptThreshold,
 			Batch:           *batch,
 			Partitions:      resolvePartitions(*partitions),
 			MaxConcurrent:   *maxConcurrent,

@@ -31,6 +31,11 @@ type Counts struct {
 	Joins      int64 // candidate tuples examined while matching bodies
 }
 
+// Work is the scalar effort summary used for estimated-vs-observed cost
+// reporting: candidate tuples examined plus derivations made. It is
+// deterministic for a given program, database, and rewrite.
+func (c Counts) Work() int64 { return c.Joins + c.Derived }
+
 // Result is a completed bottom-up evaluation.
 type Result struct {
 	// Goal holds the goal relation of the minimum model.

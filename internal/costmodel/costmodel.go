@@ -1,19 +1,27 @@
-// Package costmodel implements the order-of-magnitude cost model of §4.3,
-// under the paper's "reasonable assumptions": subgoal relations are of
-// comparable (large) size; each bound argument reduces a relation's size by
-// an order of magnitude; a join's size is the cross product reduced by one
-// order of magnitude per join-variable pair; the cost of a join is
-// proportional to the sizes of its operands and result; log factors are
-// ignored.
+// Package costmodel implements the order-of-magnitude cost model of §4.3
+// in two modes.
 //
-// Per footnote 5, "n is reduced by an order of magnitude if its logarithm
-// is reduced by some constant factor α < 1". All sizes here are therefore
-// carried as base-10 logarithms; reducing by an order of magnitude
-// multiplies the log by α.
+// The fixed-constant Model encodes the paper's "reasonable assumptions":
+// subgoal relations are of comparable (large) size; each bound argument
+// reduces a relation's size by an order of magnitude; a join's size is the
+// cross product reduced by one order of magnitude per join-variable pair;
+// the cost of a join is proportional to the sizes of its operands and
+// result; log factors are ignored. Per footnote 5, "n is reduced by an
+// order of magnitude if its logarithm is reduced by some constant factor
+// α < 1". All sizes here are therefore carried as base-10 logarithms;
+// reducing by an order of magnitude multiplies the log by α.
 //
-// The package evaluates information passing strategies under this model and
-// supports the §4.3 conjecture experiments: for rules with the monotone
-// flow property, the greedy (qual-tree) strategy should be optimal.
+// The stats-backed Table (stats.go) replaces those assumptions with real
+// EDB statistics: per-relation cardinalities and per-column distinct
+// counts (edb.Stats) yield per-subgoal log-sizes and selectivities, so
+// orderings — and whole strategies — can be scored against the database
+// actually loaded. This is what the "auto" strategy and doc/PLANNING.md
+// build on.
+//
+// The package evaluates information passing strategies under both modes
+// and supports the §4.3 conjecture experiments: for rules with the
+// monotone flow property, the greedy (qual-tree) strategy should be
+// optimal under the fixed model.
 package costmodel
 
 import (

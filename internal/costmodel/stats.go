@@ -1,0 +1,212 @@
+// Stats-backed costing: the same order-of-magnitude machinery as the
+// fixed-constant Model, but with per-subgoal log-sizes and selectivities
+// derived from real EDB statistics (edb.Stats) instead of the §4.3
+// "reasonable assumptions". An EDB subgoal's retrieval estimate is its
+// cardinality divided by the distinct count of every bound column
+// (uniformity assumption, carried in log10 space); IDB subgoals fall back
+// to the paper's α-discounted default, capped at the largest base
+// relation. Join growth is modeled as in EstimateSIP: the running
+// intermediate size plus the new subgoal's (binding-discounted) size, so
+// a cross product — no shared variables, hence no binding discount — is
+// charged its full blowup.
+package costmodel
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/edb"
+)
+
+// ErrNoStats reports that the database has no statistics to plan from
+// (an empty EDB). Callers fall back to the fixed-constant model or to the
+// greedy strategy; the typed sentinel lets them record why.
+var ErrNoStats = errors.New("costmodel: no EDB statistics available")
+
+// RelStat carries one relation's statistics in log10 space.
+type RelStat struct {
+	// CardLog is log10 of the relation's cardinality.
+	CardLog float64
+	// ColLog is log10 of each column's distinct count.
+	ColLog []float64
+}
+
+// Table is a statistics-backed cost model: per-relation sizes and
+// selectivities, plus the fixed-model fallback for subgoals without
+// statistics (IDB predicates, whose extensions derive from the EDB).
+type Table struct {
+	Rels map[ast.PredKey]RelStat
+	// DefaultLog is the log10 size assumed for a subgoal without
+	// statistics: the largest base relation (a pessimistic cap).
+	DefaultLog float64
+	// Alpha is footnote 5's α, used to discount DefaultLog per bound
+	// argument exactly as the fixed Model does.
+	Alpha float64
+}
+
+// FromStats converts an edb.Stats snapshot into a cost table, or returns
+// ErrNoStats when the snapshot holds no facts.
+func FromStats(st edb.Stats) (*Table, error) {
+	if st.Rows == 0 || len(st.Rels) == 0 {
+		return nil, ErrNoStats
+	}
+	t := &Table{Rels: make(map[ast.PredKey]RelStat, len(st.Rels)), Alpha: Default().Alpha}
+	for key, rs := range st.Rels {
+		stat := RelStat{CardLog: math.Log10(float64(rs.Rows)), ColLog: make([]float64, len(rs.Distinct))}
+		for i, d := range rs.Distinct {
+			stat.ColLog[i] = math.Log10(float64(d))
+		}
+		t.Rels[key] = stat
+		if stat.CardLog > t.DefaultLog {
+			t.DefaultLog = stat.CardLog
+		}
+	}
+	return t, nil
+}
+
+// RelSizeLog estimates the log10 size of retrieving one subgoal relation
+// given which argument positions carry bindings. For relations with
+// statistics each bound column divides the cardinality by its distinct
+// count (log-space subtraction, floored at 0 ≡ one row); otherwise the
+// α-discounted default applies. The estimate is monotone: binding more
+// arguments never increases it.
+func (t *Table) RelSizeLog(key ast.PredKey, bound []bool) float64 {
+	rs, ok := t.Rels[key]
+	if !ok {
+		n := 0
+		for _, b := range bound {
+			if b {
+				n++
+			}
+		}
+		return t.DefaultLog * math.Pow(t.Alpha, float64(n))
+	}
+	size := rs.CardLog
+	for i, b := range bound {
+		if b && i < len(rs.ColLog) {
+			size -= rs.ColLog[i]
+		}
+	}
+	if size < 0 {
+		return 0
+	}
+	return size
+}
+
+// EstimateSIPStats is EstimateSIP under the statistics table: it walks
+// the strategy's evaluation order maintaining the running intermediate
+// size, with per-subgoal retrieval sizes from RelSizeLog. The joined size
+// after a step is intermediate + retrieval (per distinct binding the
+// subgoal contributes its binding-discounted rows), which reduces to the
+// full cross product when the subgoal shares no variables with the
+// bindings accumulated so far.
+func EstimateSIPStats(s *adorn.SIP, t *Table) Estimate {
+	bound := make(map[string]bool)
+	for i, tm := range s.Rule.Head.Args {
+		if s.HeadAd[i].Bound() && tm.IsVar() {
+			bound[tm.Var] = true
+		}
+	}
+	est := Estimate{CostLog: math.Inf(-1)}
+	inter := 0.0
+	for _, i := range s.Order {
+		atom := s.Rule.Body[i]
+		boundPos := make([]bool, len(atom.Args))
+		for j, tm := range atom.Args {
+			boundPos[j] = !tm.IsVar() || bound[tm.Var]
+		}
+		size := t.RelSizeLog(atom.Key(), boundPos)
+		joined := inter + size
+		step := addLog(addLog(inter, size), joined)
+		est.CostLog = addLog(est.CostLog, step)
+		inter = joined
+		if inter > est.MaxIntermediateLog {
+			est.MaxIntermediateLog = inter
+		}
+		est.StepSizes = append(est.StepSizes, inter)
+		for _, tm := range atom.Args {
+			if tm.IsVar() {
+				bound[tm.Var] = true
+			}
+		}
+	}
+	return est
+}
+
+// BestOrderStats exhaustively searches all evaluation orders under the
+// statistics table and returns a minimum-cost order with its estimate.
+// Like BestOrder it is factorial in the subgoal count; bodies longer than
+// bestOrderMaxBody fall back to a greedy minimum-next-step construction.
+func BestOrderStats(rule ast.Rule, headAd adorn.Adornment, t *Table) ([]int, Estimate) {
+	n := len(rule.Body)
+	if n > bestOrderMaxBody {
+		order := greedyOrderStats(rule, headAd, t)
+		return order, EstimateSIPStats(adorn.FromOrder(rule, headAd, order), t)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best []int
+	bestEst := Estimate{CostLog: math.Inf(1)}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			est := EstimateSIPStats(adorn.FromOrder(rule, headAd, perm), t)
+			if est.CostLog < bestEst.CostLog {
+				bestEst = est
+				best = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, bestEst
+}
+
+// bestOrderMaxBody bounds the factorial search (8! = 40320 estimates).
+const bestOrderMaxBody = 8
+
+// greedyOrderStats picks, at each step, the subgoal with the smallest
+// estimated retrieval given the bindings accumulated so far — the
+// polynomial fallback for unusually long rule bodies.
+func greedyOrderStats(rule ast.Rule, headAd adorn.Adornment, t *Table) []int {
+	bound := make(map[string]bool)
+	for i, tm := range rule.Head.Args {
+		if headAd[i].Bound() && tm.IsVar() {
+			bound[tm.Var] = true
+		}
+	}
+	n := len(rule.Body)
+	order := make([]int, 0, n)
+	chosen := make([]bool, n)
+	for len(order) < n {
+		best, bestSize := -1, 0.0
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			atom := rule.Body[i]
+			boundPos := make([]bool, len(atom.Args))
+			for j, tm := range atom.Args {
+				boundPos[j] = !tm.IsVar() || bound[tm.Var]
+			}
+			if size := t.RelSizeLog(atom.Key(), boundPos); best == -1 || size < bestSize {
+				best, bestSize = i, size
+			}
+		}
+		chosen[best] = true
+		order = append(order, best)
+		for _, v := range rule.Body[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,141 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adorn"
+	"repro/internal/ast"
+	"repro/internal/edb"
+)
+
+func tableFor(t *testing.T, load func(db *edb.Database)) *Table {
+	t.Helper()
+	db := edb.New()
+	load(db)
+	tab, err := FromStats(db.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestFromStatsEmpty(t *testing.T) {
+	if _, err := FromStats(edb.New().Stats()); err != ErrNoStats {
+		t.Fatalf("empty database: err = %v, want ErrNoStats", err)
+	}
+}
+
+func TestRelSizeLogUsesDistinctCounts(t *testing.T) {
+	tab := tableFor(t, func(db *edb.Database) {
+		// 1000 rows, column 0 has 10 distinct values, column 1 has 1000.
+		for i := 0; i < 1000; i++ {
+			db.Add("r", "k"+string(rune('a'+i%10)), "v"+itoa(i))
+		}
+	})
+	key := ast.PredKey{Name: "r", Arity: 2}
+	free := tab.RelSizeLog(key, []bool{false, false})
+	if math.Abs(free-3) > 0.01 {
+		t.Errorf("unbound size log %v, want 3", free)
+	}
+	b0 := tab.RelSizeLog(key, []bool{true, false})
+	if b0 < 1.5 || b0 > 2.5 { // 1000/10 = 100 rows, ±sketch error
+		t.Errorf("col0-bound size log %v, want ~2", b0)
+	}
+	b1 := tab.RelSizeLog(key, []bool{false, true})
+	if b1 > 0.5 { // 1000/~1000 ≈ 1 row
+		t.Errorf("col1-bound size log %v, want ~0", b1)
+	}
+	// Unknown (IDB) predicates fall back to the α-discounted default.
+	idb := ast.PredKey{Name: "p", Arity: 2}
+	d0 := tab.RelSizeLog(idb, []bool{false, false})
+	d1 := tab.RelSizeLog(idb, []bool{true, false})
+	if math.Abs(d0-tab.DefaultLog) > 0.01 || d1 >= d0 {
+		t.Errorf("IDB fallback: unbound %v (default %v), bound %v", d0, tab.DefaultLog, d1)
+	}
+}
+
+func TestBestOrderStatsPicksSelectiveFirst(t *testing.T) {
+	tab := tableFor(t, func(db *edb.Database) {
+		for i := 0; i < 2000; i++ {
+			db.Add("big", "x"+itoa(i%2), "y"+itoa(i%2), "z"+itoa(i))
+		}
+		for i := 0; i < 10; i++ {
+			db.Add("tiny", "z"+itoa(i), "t")
+		}
+	})
+	// goal(Z) :- big(a, b, Z), tiny(Z, t): retrieving big's (a,b) slice is
+	// huge (distinct ≈ 2 per leading column), so tiny must come first.
+	rule := ast.Rule{
+		Head: ast.Atom{Pred: ast.GoalPred, Args: []ast.Term{ast.V("Z")}},
+		Body: []ast.Atom{
+			{Pred: "big", Args: []ast.Term{ast.C("a"), ast.C("b"), ast.V("Z")}},
+			{Pred: "tiny", Args: []ast.Term{ast.V("Z"), ast.C("t")}},
+		},
+	}
+	order, est := BestOrderStats(rule, adorn.Adornment{adorn.Free}, tab)
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order %v, want tiny (index 1) first", order)
+	}
+	textual := EstimateSIPStats(adorn.FromOrder(rule, adorn.Adornment{adorn.Free}, []int{0, 1}), tab)
+	if est.CostLog >= textual.CostLog {
+		t.Errorf("best order cost %v not below textual %v", est.CostLog, textual.CostLog)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// FuzzRelSizeMonotone pins the estimator's monotonicity: binding more
+// argument positions never increases the estimated size, for relations
+// with and without statistics. The auto planner relies on this — adding
+// information must never look more expensive.
+func FuzzRelSizeMonotone(f *testing.F) {
+	f.Add(uint16(1000), uint8(10), uint8(200), uint8(0b01), uint8(0b11))
+	f.Add(uint16(7), uint8(3), uint8(3), uint8(0b00), uint8(0b10))
+	f.Add(uint16(60000), uint8(255), uint8(1), uint8(0b10), uint8(0b11))
+	f.Fuzz(func(t *testing.T, rows uint16, d0, d1 uint8, subset, superset uint8) {
+		if rows == 0 {
+			rows = 1
+		}
+		clamp := func(d uint8) float64 {
+			n := int(d)
+			if n < 1 {
+				n = 1
+			}
+			if n > int(rows) {
+				n = int(rows)
+			}
+			return math.Log10(float64(n))
+		}
+		key := ast.PredKey{Name: "r", Arity: 2}
+		tab := &Table{
+			Rels:       map[ast.PredKey]RelStat{key: {CardLog: math.Log10(float64(rows)), ColLog: []float64{clamp(d0), clamp(d1)}}},
+			DefaultLog: math.Log10(float64(rows)),
+			Alpha:      0.3,
+		}
+		// superset must actually contain subset's bound positions.
+		superset |= subset
+		toBound := func(mask uint8) []bool { return []bool{mask&1 != 0, mask&2 != 0} }
+		for _, k := range []ast.PredKey{key, {Name: "idb", Arity: 2}} {
+			less := tab.RelSizeLog(k, toBound(subset))
+			more := tab.RelSizeLog(k, toBound(superset))
+			if more > less+1e-12 {
+				t.Fatalf("%v: size with bound %02b = %v exceeds size with bound %02b = %v",
+					k, superset, more, subset, less)
+			}
+			if tab.RelSizeLog(k, toBound(superset)) < 0 {
+				t.Fatalf("negative size estimate")
+			}
+		}
+	})
+}

@@ -39,6 +39,10 @@ type Database struct {
 	// tail under chMu so concurrent readers never see a growing slice.
 	changes []Change
 	chMu    sync.Mutex
+	// stats holds incrementally maintained per-relation statistics
+	// (cardinality + per-column distinct sketches), guarded by chMu so
+	// Stats() snapshots are safe against concurrent bulk loading.
+	stats map[ast.PredKey]*relStats
 }
 
 // Change records one successful mutation: the row inserted and the
@@ -97,13 +101,14 @@ func (db *Database) Add(pred string, args ...string) bool {
 	return false
 }
 
-// record logs one successful insert and bumps the version. The version
-// bump comes last so a reader that observes the new version is guaranteed
-// to find the change in the log.
+// record logs one successful insert, maintains the incremental statistics,
+// and bumps the version. The version bump comes last so a reader that
+// observes the new version is guaranteed to find the change in the log.
 func (db *Database) record(key ast.PredKey, t relation.Tuple) {
 	db.chMu.Lock()
 	v := db.version.Load() + 1
 	db.changes = append(db.changes, Change{Seq: v, Key: key, Row: t})
+	db.noteInsert(key, t)
 	db.chMu.Unlock()
 	db.version.Add(1)
 }

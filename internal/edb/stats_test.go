@@ -1,0 +1,80 @@
+package edb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// TestStatsIncremental checks that cardinalities are exact and distinct
+// sketches land within their error bound, across AddFact and Add paths.
+func TestStatsIncremental(t *testing.T) {
+	db := New()
+	// edge(i mod 50, i): column 0 has 50 distinct values, column 1 has 500.
+	for i := 0; i < 500; i++ {
+		db.Add("edge", fmt.Sprintf("n%d", i%50), fmt.Sprintf("n%d", i))
+	}
+	db.AddFact(ast.Atom{Pred: "flag", Args: []ast.Term{ast.C("on")}})
+
+	st := db.Stats()
+	if st.Epoch != db.Version() {
+		t.Fatalf("epoch %d, version %d", st.Epoch, db.Version())
+	}
+	if st.Rows != 501 {
+		t.Fatalf("total rows %d, want 501", st.Rows)
+	}
+	e := st.Rels[ast.PredKey{Name: "edge", Arity: 2}]
+	if e.Rows != 500 {
+		t.Fatalf("edge rows %d, want 500", e.Rows)
+	}
+	within := func(got, want int, relErr float64) bool {
+		lo := float64(want) * (1 - relErr)
+		hi := float64(want) * (1 + relErr)
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	// 64 registers give ~13% standard error; allow 3 sigma.
+	if !within(e.Distinct[0], 50, 0.4) {
+		t.Errorf("edge col0 distinct %d, want ~50", e.Distinct[0])
+	}
+	if !within(e.Distinct[1], 500, 0.4) {
+		t.Errorf("edge col1 distinct %d, want ~500", e.Distinct[1])
+	}
+	f := st.Rels[ast.PredKey{Name: "flag", Arity: 1}]
+	if f.Rows != 1 || f.Distinct[0] != 1 {
+		t.Errorf("flag stats %+v, want 1 row, 1 distinct", f)
+	}
+
+	// Duplicates must not inflate the counts.
+	db.Add("edge", "n0", "n0")
+	if got := db.Stats().Rels[ast.PredKey{Name: "edge", Arity: 2}].Rows; got != 500 {
+		t.Errorf("duplicate insert changed rows to %d", got)
+	}
+}
+
+// TestStatsConcurrentSnapshot races Stats() readers against a writer; the
+// race detector is the assertion, plus every snapshot must be internally
+// consistent (distinct ≤ rows).
+func TestStatsConcurrentSnapshot(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			db.Add("r", fmt.Sprintf("a%d", i%10), fmt.Sprintf("b%d", i))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		st := db.Stats()
+		for key, rs := range st.Rels {
+			for c, d := range rs.Distinct {
+				if d > rs.Rows || d < 1 {
+					t.Fatalf("%v col %d: distinct %d vs rows %d", key, c, d, rs.Rows)
+				}
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -183,11 +183,20 @@ func Rewrite(prog *ast.Program, strategy func(ast.Rule, adorn.Adornment) *adorn.
 	return rw, nil
 }
 
-// Evaluate rewrites the program and evaluates it semi-naively. The
-// returned database is built from the rewritten program (it contains the
-// magic seed facts) and owns the symbol table the result's tuples use.
+// Evaluate rewrites the program under the default (greedy) strategy and
+// evaluates it semi-naively. The returned database is built from the
+// rewritten program (it contains the magic seed facts) and owns the symbol
+// table the result's tuples use.
 func Evaluate(prog *ast.Program) (*bottomup.Result, *Rewritten, *edb.Database, error) {
-	rw, err := Rewrite(prog, nil)
+	return EvaluateWith(prog, nil)
+}
+
+// EvaluateWith is Evaluate with an explicit sideways-information-passing
+// strategy driving the rewrite's adornments (nil means greedy). The answer
+// set is strategy-independent; the magic predicates — and hence the work —
+// are not.
+func EvaluateWith(prog *ast.Program, strategy func(ast.Rule, adorn.Adornment) *adorn.SIP) (*bottomup.Result, *Rewritten, *edb.Database, error) {
+	rw, err := Rewrite(prog, strategy)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -12,6 +12,7 @@ package rgg
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/adorn"
@@ -227,6 +228,65 @@ func CostStrategy(m costmodel.Model) Strategy {
 		order, _ := costmodel.BestOrder(r, headAd, m)
 		return adorn.FromOrder(r, headAd, order)
 	}
+}
+
+// TableStrategy orders each rule's subgoals by exhaustive search under a
+// statistics-backed cost table (costmodel.BestOrderStats): real
+// cardinalities and per-column distinct counts replace the §4.3 fixed
+// constants. Unlike StatsStrategy's myopic smallest-next-retrieval rule,
+// the full-order search also prices join growth, so it avoids e.g.
+// cross-product-first traps where the locally cheapest subgoal shares no
+// variables with the rest of the body. This is the "cost" candidate the
+// auto planner scores against greedy/qualtree/leftright.
+func TableStrategy(t *costmodel.Table) Strategy {
+	return func(r ast.Rule, headAd adorn.Adornment) *adorn.SIP {
+		order, _ := costmodel.BestOrderStats(r, headAd, t)
+		return adorn.FromOrder(r, headAd, order)
+	}
+}
+
+// GraphCostLog scores a compiled rule/goal graph under a statistics
+// table: the log10 of the summed per-rule-node SIP cost estimates. Two
+// graphs for the same query differ only in their rule nodes' orderings
+// and adornments, so this is the quantity the auto planner minimizes when
+// choosing between candidate strategies.
+func GraphCostLog(g *Graph, t *costmodel.Table) float64 {
+	total := math.Inf(-1)
+	for _, n := range g.Nodes {
+		if n.Kind != Rule || n.SIP == nil {
+			continue
+		}
+		est := costmodel.EstimateSIPStats(n.SIP, t)
+		total = addLog(total, est.CostLog)
+	}
+	return total
+}
+
+// addLog is log10(10^a + 10^b), duplicated from costmodel for the graph
+// sum (the costmodel helper is unexported).
+func addLog(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return b
+	}
+	return a + math.Log10(1+math.Pow(10, b-a))
+}
+
+// PlanFingerprint renders the graph's evaluation orders compactly: one
+// segment per rule node with its body ordering. Two graphs with equal
+// fingerprints evaluate identically, which is how drift re-optimization
+// decides whether a fresh plan actually differs from the cached one.
+func PlanFingerprint(g *Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		if n.Kind != Rule || n.SIP == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s%v;", n.Atom.Pred, n.SIP.Order)
+	}
+	return b.String()
 }
 
 // BasicStrategy disables sideways information passing entirely, yielding

@@ -105,6 +105,11 @@ type Config struct {
 	// remote-store access. The A8 bench uses it to keep serving
 	// measurements latency-bound; production servers leave it zero.
 	EDBDelay time.Duration
+	// ReoptThreshold is the statistics-drift fraction past which cached
+	// "auto" plans are re-optimized (see mpq.WithReoptThreshold): 0 uses
+	// mpq.DefaultReoptThreshold, negative disables drift re-optimization.
+	// Only meaningful with Strategy "auto".
+	ReoptThreshold float64
 	// MaxConcurrent is the admission limit: how many queries may evaluate
 	// simultaneously (<=0 means DefaultMaxConcurrent, i.e. GOMAXPROCS).
 	// Excess queries wait in bounded per-tenant queues.
@@ -437,6 +442,9 @@ func planWord(reused bool) string {
 // options (shared by one-shot queries and subscriptions).
 func (s *Server) queryOpts() []mpq.Option {
 	opts := []mpq.Option{mpq.WithStrategy(s.cfg.Strategy), mpq.WithStats(s.cfg.Stats)}
+	if s.cfg.ReoptThreshold != 0 {
+		opts = append(opts, mpq.WithReoptThreshold(s.cfg.ReoptThreshold))
+	}
 	if s.cfg.Batch {
 		opts = append(opts, mpq.WithBatching())
 	}
@@ -619,8 +627,8 @@ func (s *Server) run(ctx context.Context, tenant, src string, emit func(tuple []
 		s.cache.put(key, rows)
 	}
 	if s.cfg.Logf != nil {
-		s.cfg.Logf("query %q tenant=%s: %d answers, plan=%s, %v",
-			src, tenant, n, planWord(reused), time.Since(t0).Round(time.Microsecond))
+		s.cfg.Logf("query %q tenant=%s: %d answers, plan=%s %s, %v",
+			src, tenant, n, planWord(reused), pq.PlanSummary(), time.Since(t0).Round(time.Microsecond))
 	}
 	return reused, false, nil
 }

@@ -25,6 +25,9 @@ func TestPrometheusGolden(t *testing.T) {
 		Heartbeats: 17, Reconnects: 18, Replays: 19, PeerDowns: 20,
 		Aborts: 21, DroppedSends: 22, DroppedPuts: 23, FaultDrops: 24,
 		PlanHits: 25, PlanMisses: 26,
+		StrategyAutoGreedy: 35, StrategyAutoQualtree: 36,
+		StrategyAutoLeftright: 37, StrategyAutoCost: 38,
+		PlanReopts: 39, StatsRefreshes: 40,
 		DeltaRounds: 33, DeltaSeeded: 34,
 		Workers: 27,
 		Shed:    28, ResultHits: 29, ResultMisses: 30,
@@ -102,6 +105,18 @@ mpq_fault_injected_drops_total 24
 # TYPE mpq_plan_cache_total counter
 mpq_plan_cache_total{result="hit"} 25
 mpq_plan_cache_total{result="miss"} 26
+# HELP mpq_plan_strategy_total Auto-planner decisions by winning candidate strategy.
+# TYPE mpq_plan_strategy_total counter
+mpq_plan_strategy_total{strategy="greedy"} 35
+mpq_plan_strategy_total{strategy="qualtree"} 36
+mpq_plan_strategy_total{strategy="leftright"} 37
+mpq_plan_strategy_total{strategy="cost"} 38
+# HELP mpq_plan_reopt_total Cached plans re-optimized after EDB statistics drifted past the threshold.
+# TYPE mpq_plan_reopt_total counter
+mpq_plan_reopt_total 39
+# HELP mpq_stats_refresh_total EDB statistics snapshots taken by the auto planner.
+# TYPE mpq_stats_refresh_total counter
+mpq_stats_refresh_total 40
 # HELP mpq_delta_rounds_total Incremental delta rounds evaluated through retained plans (subscriptions).
 # TYPE mpq_delta_rounds_total counter
 mpq_delta_rounds_total 33

@@ -90,6 +90,21 @@ var promRows = []metricRow{
 		func(sn trace.Snapshot) int64 { return sn.PlanHits }},
 	{"mpq_plan_cache_total", `result="miss"`, "", "",
 		func(sn trace.Snapshot) int64 { return sn.PlanMisses }},
+	// Adaptive planning (strategy=auto): which candidate won each
+	// decision, drift-triggered plan re-optimizations, and statistics
+	// snapshots taken for planning. See doc/PLANNING.md.
+	{"mpq_plan_strategy_total", `strategy="greedy"`, "Auto-planner decisions by winning candidate strategy.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.StrategyAutoGreedy }},
+	{"mpq_plan_strategy_total", `strategy="qualtree"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.StrategyAutoQualtree }},
+	{"mpq_plan_strategy_total", `strategy="leftright"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.StrategyAutoLeftright }},
+	{"mpq_plan_strategy_total", `strategy="cost"`, "", "",
+		func(sn trace.Snapshot) int64 { return sn.StrategyAutoCost }},
+	{"mpq_plan_reopt_total", "", "Cached plans re-optimized after EDB statistics drifted past the threshold.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.PlanReopts }},
+	{"mpq_stats_refresh_total", "", "EDB statistics snapshots taken by the auto planner.", "counter",
+		func(sn trace.Snapshot) int64 { return sn.StatsRefreshes }},
 	// Incremental re-evaluation (live subscriptions): delta rounds pushed
 	// through retained plans and Δ base tuples seeded at EDB leaves.
 	{"mpq_delta_rounds_total", "", "Incremental delta rounds evaluated through retained plans (subscriptions).", "counter",

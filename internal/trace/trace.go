@@ -48,6 +48,16 @@ type Stats struct {
 	planHits   atomic.Int64
 	planMisses atomic.Int64
 
+	// Adaptive-planning counters: which candidate the auto planner chose
+	// (per strategy name), cached plans re-optimized after statistics
+	// drift, and statistics snapshots taken for planning.
+	autoGreedy     atomic.Int64
+	autoQualtree   atomic.Int64
+	autoLeftright  atomic.Int64
+	autoCost       atomic.Int64
+	planReopts     atomic.Int64
+	statsRefreshes atomic.Int64
+
 	// Incremental (delta) re-evaluation counters: delta rounds driven
 	// through a retained plan (engine.Incremental) and the Δ base tuples
 	// those rounds seeded at EDB leaves. A delta round re-runs the Fig 2
@@ -108,8 +118,26 @@ func (s *Stats) DroppedPuts(n int64) { s.droppedPuts.Add(n) }
 func (s *Stats) FaultDrop()          { s.faultDrops.Add(1) }
 func (s *Stats) PlanHit()            { s.planHits.Add(1) }
 func (s *Stats) PlanMiss()           { s.planMisses.Add(1) }
+func (s *Stats) PlanReopt()          { s.planReopts.Add(1) }
+func (s *Stats) StatsRefresh()       { s.statsRefreshes.Add(1) }
 func (s *Stats) DeltaRound()         { s.deltaRounds.Add(1) }
 func (s *Stats) DeltaSeeded(n int64) { s.deltaSeeded.Add(n) }
+
+// StrategyAuto counts one auto-planner decision for the named winning
+// candidate. Unknown names are ignored (the exported label set is fixed
+// so the Prometheus series stay enumerable).
+func (s *Stats) StrategyAuto(name string) {
+	switch name {
+	case "greedy":
+		s.autoGreedy.Add(1)
+	case "qualtree":
+		s.autoQualtree.Add(1)
+	case "leftright":
+		s.autoLeftright.Add(1)
+	case "cost":
+		s.autoCost.Add(1)
+	}
+}
 
 // SetWorkers records the worker-shard goroutine count of an evaluation's
 // partition plan (a gauge: the latest evaluation wins).
@@ -160,6 +188,12 @@ type Snapshot struct {
 	// Plan-cache lookups: a hit reused a compiled rule/goal graph, a miss
 	// compiled a fresh one (see System.Query and engine.Plan).
 	PlanHits, PlanMisses int64
+	// Adaptive planning: auto-strategy decisions by winning candidate,
+	// cached plans re-optimized after statistics drift, and statistics
+	// snapshots taken for planning (see doc/PLANNING.md).
+	StrategyAutoGreedy, StrategyAutoQualtree int64
+	StrategyAutoLeftright, StrategyAutoCost  int64
+	PlanReopts, StatsRefreshes               int64
 	// Incremental re-evaluation: delta rounds run through retained plans
 	// and Δ base tuples seeded at EDB leaves during them (see
 	// engine.Incremental and doc/SUBSCRIPTIONS.md).
@@ -185,44 +219,50 @@ type Snapshot struct {
 // Snapshot reads every counter.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		RelReqs:      s.relReqs.Load(),
-		TupReqs:      s.tupReqs.Load(),
-		TupReqRows:   s.tupReqRows.Load(),
-		Tuples:       s.tuples.Load(),
-		TupleBatches: s.batches.Load(),
-		TupleRows:    s.tupleRows.Load(),
-		Ends:         s.ends.Load(),
-		ReqEnds:      s.reqEnds.Load(),
-		Protocol:     s.protocol.Load(),
-		Rounds:       s.rounds.Load(),
-		Derived:      s.derived.Load(),
-		Stored:       s.stored.Load(),
-		Dups:         s.dups.Load(),
-		Joins:        s.joins.Load(),
-		EDBScans:     s.edbScans.Load(),
-		EDBTuples:    s.edbTuples.Load(),
-		Heartbeats:   s.heartbeats.Load(),
-		Reconnects:   s.reconnects.Load(),
-		Replays:      s.replays.Load(),
-		PeerDowns:    s.peerDowns.Load(),
-		Aborts:       s.aborts.Load(),
-		DroppedSends: s.droppedSends.Load(),
-		DroppedPuts:  s.droppedPuts.Load(),
-		FaultDrops:   s.faultDrops.Load(),
-		PlanHits:     s.planHits.Load(),
-		PlanMisses:   s.planMisses.Load(),
-		DeltaRounds:  s.deltaRounds.Load(),
-		DeltaSeeded:  s.deltaSeeded.Load(),
-		Workers:      s.workers.Load(),
-		Shed:         s.shed.Load(),
-		ResultHits:   s.resultHits.Load(),
-		ResultMisses: s.resultMisses.Load(),
-		SLOGood:      s.sloGood.Load(),
-		SLOBad:       s.sloBad.Load(),
-		BurnRateMicro: s.burnMicro.Load(),
-		QueueWait:     s.queueWait.Snapshot(),
-		Eval:          s.evalTime.Snapshot(),
-		EndToEnd:      s.endToEnd.Snapshot(),
+		RelReqs:               s.relReqs.Load(),
+		TupReqs:               s.tupReqs.Load(),
+		TupReqRows:            s.tupReqRows.Load(),
+		Tuples:                s.tuples.Load(),
+		TupleBatches:          s.batches.Load(),
+		TupleRows:             s.tupleRows.Load(),
+		Ends:                  s.ends.Load(),
+		ReqEnds:               s.reqEnds.Load(),
+		Protocol:              s.protocol.Load(),
+		Rounds:                s.rounds.Load(),
+		Derived:               s.derived.Load(),
+		Stored:                s.stored.Load(),
+		Dups:                  s.dups.Load(),
+		Joins:                 s.joins.Load(),
+		EDBScans:              s.edbScans.Load(),
+		EDBTuples:             s.edbTuples.Load(),
+		Heartbeats:            s.heartbeats.Load(),
+		Reconnects:            s.reconnects.Load(),
+		Replays:               s.replays.Load(),
+		PeerDowns:             s.peerDowns.Load(),
+		Aborts:                s.aborts.Load(),
+		DroppedSends:          s.droppedSends.Load(),
+		DroppedPuts:           s.droppedPuts.Load(),
+		FaultDrops:            s.faultDrops.Load(),
+		PlanHits:              s.planHits.Load(),
+		PlanMisses:            s.planMisses.Load(),
+		StrategyAutoGreedy:    s.autoGreedy.Load(),
+		StrategyAutoQualtree:  s.autoQualtree.Load(),
+		StrategyAutoLeftright: s.autoLeftright.Load(),
+		StrategyAutoCost:      s.autoCost.Load(),
+		PlanReopts:            s.planReopts.Load(),
+		StatsRefreshes:        s.statsRefreshes.Load(),
+		DeltaRounds:           s.deltaRounds.Load(),
+		DeltaSeeded:           s.deltaSeeded.Load(),
+		Workers:               s.workers.Load(),
+		Shed:                  s.shed.Load(),
+		ResultHits:            s.resultHits.Load(),
+		ResultMisses:          s.resultMisses.Load(),
+		SLOGood:               s.sloGood.Load(),
+		SLOBad:                s.sloBad.Load(),
+		BurnRateMicro:         s.burnMicro.Load(),
+		QueueWait:             s.queueWait.Snapshot(),
+		Eval:                  s.evalTime.Snapshot(),
+		EndToEnd:              s.endToEnd.Snapshot(),
 	}
 }
 
@@ -255,6 +295,11 @@ func (sn Snapshot) String() string {
 	}
 	if sn.PlanHits+sn.PlanMisses > 0 {
 		fmt.Fprintf(&b, " planhits=%d planmisses=%d", sn.PlanHits, sn.PlanMisses)
+	}
+	if auto := sn.StrategyAutoGreedy + sn.StrategyAutoQualtree + sn.StrategyAutoLeftright + sn.StrategyAutoCost; auto+sn.PlanReopts+sn.StatsRefreshes > 0 {
+		fmt.Fprintf(&b, " auto=%d(g:%d q:%d l:%d c:%d) reopts=%d statsrefresh=%d",
+			auto, sn.StrategyAutoGreedy, sn.StrategyAutoQualtree, sn.StrategyAutoLeftright, sn.StrategyAutoCost,
+			sn.PlanReopts, sn.StatsRefreshes)
 	}
 	if sn.DeltaRounds > 0 {
 		fmt.Fprintf(&b, " deltarounds=%d deltaseeded=%d", sn.DeltaRounds, sn.DeltaSeeded)

@@ -245,6 +245,9 @@ type config struct {
 	events       *trace.EventLog
 	partitions   int
 	edbDelay     time.Duration
+	// reoptThreshold is the statistics-drift fraction for cached auto
+	// plans: 0 means DefaultReoptThreshold, negative disables re-opt.
+	reoptThreshold float64
 }
 
 // Option adjusts one evaluation.
@@ -256,10 +259,22 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // WithStrategy selects the sideways information passing strategy by name:
 // "greedy" (default, Definition 2.4), "qualtree" (Theorem 4.1 with greedy
 // fallback), "leftright" (Prolog order), "basic" (no information passing
-// at all — the §2.1 basic graph, for ablations), or "stats" (§1.2's
-// EDB-statistics-driven ordering).
+// at all — the §2.1 basic graph, for ablations), "stats" (§1.2's myopic
+// EDB-statistics-driven ordering), or "auto" (adaptive: score every
+// candidate strategy under the stats-backed cost model and evaluate
+// through the cheapest — see AutoStrategy and doc/PLANNING.md).
 func WithStrategy(name string) Option {
 	return func(c *config) { c.strategyName = name }
+}
+
+// WithReoptThreshold sets the statistics-drift fraction past which a cached
+// "auto" plan is re-optimized on its next plan-cache hit: with threshold t,
+// re-planning triggers when (EDBVersion − plan's stats epoch) / stats epoch
+// ≥ t (the denominator is floored so a near-empty database does not re-plan
+// per insert). 0 selects DefaultReoptThreshold; a negative value disables
+// drift re-optimization entirely. Manual strategies are unaffected.
+func WithReoptThreshold(t float64) Option {
+	return func(c *config) { c.reoptThreshold = t }
 }
 
 // resolveStrategy binds a strategy name to the system's database (the
@@ -434,7 +449,7 @@ func (s *System) Eval(opts ...Option) (*Answer, error) {
 	}
 	switch cfg.engine {
 	case MessagePassing:
-		g, err := rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+		g, _, err := s.buildGraph(s.Program, nil, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +471,11 @@ func (s *System) Eval(opts ...Option) (*Answer, error) {
 		res := bottomup.BruteForce(s.Program, s.DB)
 		return &Answer{Engine: cfg.engine, Tuples: render(res.Goal, s.DB), Counts: res.Counts}, nil
 	case MagicSets:
-		res, _, db, err := magic.Evaluate(s.Program)
+		strat, err := s.magicStrategy(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, _, db, err := magic.EvaluateWith(s.Program, strat)
 		if err != nil {
 			return nil, err
 		}
@@ -520,7 +539,7 @@ func (s *System) EvalStream(yield func(tuple []string) bool, opts ...Option) (tr
 	if cfg.engine != MessagePassing {
 		return trace.Snapshot{}, fmt.Errorf("mpq: EvalStream supports only the message-passing engine")
 	}
-	g, err := rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+	g, _, err := s.buildGraph(s.Program, nil, &cfg)
 	if err != nil {
 		return trace.Snapshot{}, err
 	}
@@ -549,7 +568,28 @@ func (s *System) Graph(opts ...Option) (*rgg.Graph, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return rgg.Build(s.Program, rgg.Options{Strategy: s.resolveStrategy(&cfg)})
+	g, _, err := s.buildGraph(s.Program, nil, &cfg)
+	return g, err
+}
+
+// magicStrategy maps the configured strategy onto the magic-sets rewrite's
+// adornment strategy. "auto" runs the adaptive planner and replays its
+// winning candidate; "basic" (no sideways passing) and the default greedy
+// both use the rewrite's own greedy default — an all-free magic rewrite is
+// never what an ablation of the message engine means by "basic".
+func (s *System) magicStrategy(cfg *config) (rgg.Strategy, error) {
+	switch normStrategy(cfg.strategyName) {
+	case AutoStrategy:
+		_, choice, err := s.chooseAuto(s.Program, nil, cfg.stats)
+		if err != nil {
+			return nil, err
+		}
+		return choice.strat, nil
+	case "basic", "greedy":
+		return nil, nil
+	default:
+		return s.resolveStrategy(cfg), nil
+	}
 }
 
 func render(r *relation.Relation, db *edb.Database) [][]string {

@@ -7,6 +7,7 @@ import (
 	"iter"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adorn"
@@ -48,6 +49,16 @@ type PreparedQuery struct {
 	partitions int
 	edbDelay   time.Duration // WithEDBDelay simulated retrieval latency
 	stats      *trace.Stats  // Prepare-time WithStats accumulator, nil for per-call stats
+
+	// choice is the auto planner's decision (nil for manual strategies)
+	// and fingerprint the compiled graph's evaluation orders
+	// (rgg.PlanFingerprint). statsEpoch starts at the planning-time
+	// statistics epoch and advances when a drift check re-scores the
+	// candidates and finds this plan still best — it is atomic because
+	// drift checks run concurrently with CacheKey readers.
+	choice      *AutoChoice
+	fingerprint string
+	statsEpoch  atomic.Uint64
 }
 
 // parsedQuery is the outcome of canonicalizing one query's source text.
@@ -201,16 +212,21 @@ func (s *System) prepare(q *parsedQuery, cfg *config) (*PreparedQuery, error) {
 			rootAd[i] = adorn.Dynamic
 		}
 	}
-	g, err := rgg.Build(prog, rgg.Options{Strategy: s.resolveStrategy(cfg), RootAd: rootAd})
+	g, choice, err := s.buildGraph(prog, rootAd, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	plan := engine.NewPlan(g, s.DB) // warms every index the graph probes, once
 	s.mu.Unlock()
-	return &PreparedQuery{sys: s, plan: plan, strategy: normStrategy(cfg.strategyName),
+	pq := &PreparedQuery{sys: s, plan: plan, strategy: normStrategy(cfg.strategyName),
 		shape: q.shape, defaults: q.consts, nout: nout, batch: cfg.batch,
-		partitions: cfg.partitions, edbDelay: cfg.edbDelay, stats: cfg.stats}, nil
+		partitions: cfg.partitions, edbDelay: cfg.edbDelay, stats: cfg.stats,
+		choice: choice, fingerprint: rgg.PlanFingerprint(g)}
+	if choice != nil {
+		pq.statsEpoch.Store(choice.StatsEpoch)
+	}
+	return pq, nil
 }
 
 // NumParams reports how many constants the query text contained — the
@@ -229,9 +245,16 @@ func (pq *PreparedQuery) Graph() *rgg.Graph { return pq.plan.Graph() }
 // shape, NUL-separated. Two queries with equal CacheKeys evaluate through
 // the same compiled plan, so serving-layer result caches can key on
 // (CacheKey, bound constants, System.EDBVersion) and never alias distinct
-// plans.
+// plans. For auto plans the strategy segment records the planner's actual
+// decision and its statistics epoch ("auto:cost@42"), so a drift
+// re-optimization that changes the plan also changes the key — cached
+// results can never be replayed against a plan they were not computed by.
 func (pq *PreparedQuery) CacheKey() string {
-	return planKey(pq.strategy, pq.partitions, pq.edbDelay, pq.shape)
+	strategy := pq.strategy
+	if pq.choice != nil {
+		strategy = fmt.Sprintf("%s:%s@%d", AutoStrategy, pq.choice.Strategy, pq.statsEpoch.Load())
+	}
+	return planKey(strategy, pq.partitions, pq.edbDelay, pq.shape)
 }
 
 // planKey builds the plan-cache key. It includes the partition count (a
@@ -338,10 +361,12 @@ func (pq *PreparedQuery) Answers(ctx context.Context, args ...string) iter.Seq2[
 
 // normStrategy maps a strategy name onto the name resolveStrategy will
 // actually use (unknown and empty both fall back to greedy), so plan-cache
-// keys never alias two different graphs or split one.
+// keys never alias two different graphs or split one. "auto" is its own
+// name: auto plans are looked up under the requested strategy, while
+// their CacheKey records the planner's decision.
 func normStrategy(name string) string {
 	switch name {
-	case "qualtree", "leftright", "basic", "stats":
+	case "qualtree", "leftright", "basic", "stats", AutoStrategy:
 		return name
 	}
 	return "greedy"
@@ -431,6 +456,10 @@ func (s *System) queryPrepared(src string, cfg *config) (*PreparedQuery, []strin
 	}
 	key := planKey(normStrategy(cfg.strategyName), cfg.partitions, cfg.edbDelay, q.shape)
 	if pq := s.plans.get(key); pq != nil {
+		if npq := s.maybeReopt(pq, q, cfg); npq != nil {
+			s.plans.put(key, npq)
+			pq = npq
+		}
 		if cfg.stats != nil {
 			cfg.stats.PlanHit()
 		}
@@ -445,6 +474,54 @@ func (s *System) queryPrepared(src string, cfg *config) (*PreparedQuery, []strin
 	}
 	s.plans.put(key, pq)
 	return pq, q.consts, false, nil
+}
+
+// maybeReopt checks a cached auto plan for statistics drift and, when the
+// EDB has grown past the configured threshold since the plan's statistics
+// were read, re-runs the candidate scoring. It returns a replacement plan
+// when the fresh decision differs from the cached one (strategy or any
+// rule's evaluation order — counted as a PlanReopt); when the cached plan
+// is still best it advances the plan's statistics epoch so the next drift
+// check measures from now, and returns nil. Manual plans never re-opt.
+//
+// Replacement never mutates the cached plan: evaluations already running
+// on it finish undisturbed, and the cache swap makes the new plan visible
+// to subsequent lookups (both plans are correct; the engine's answers do
+// not depend on the ordering, only its cost does).
+func (s *System) maybeReopt(pq *PreparedQuery, q *parsedQuery, cfg *config) *PreparedQuery {
+	if pq.choice == nil {
+		return nil
+	}
+	th := cfg.reoptThreshold
+	if th == 0 {
+		th = DefaultReoptThreshold
+	}
+	if th < 0 {
+		return nil
+	}
+	now, epoch := s.DB.Version(), pq.statsEpoch.Load()
+	if now <= epoch {
+		return nil
+	}
+	base := epoch
+	if base < reoptMinEpoch {
+		base = reoptMinEpoch
+	}
+	if float64(now-epoch)/float64(base) < th {
+		return nil
+	}
+	npq, err := s.prepare(q, cfg)
+	if err != nil {
+		return nil // keep serving the cached plan
+	}
+	if npq.choice != nil && npq.choice.Strategy == pq.choice.Strategy && npq.fingerprint == pq.fingerprint {
+		pq.statsEpoch.Store(npq.statsEpoch.Load())
+		return nil
+	}
+	if cfg.stats != nil {
+		cfg.stats.PlanReopt()
+	}
+	return npq
 }
 
 // Query evaluates src — a `?- body.` query against the loaded program —

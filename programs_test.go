@@ -58,7 +58,8 @@ func TestProgramCorpus(t *testing.T) {
 			}
 			// The batched engine and every strategy must agree too.
 			for _, opt := range []Option{WithBatching(), WithStrategy("qualtree"),
-				WithStrategy("leftright"), WithStrategy("basic")} {
+				WithStrategy("leftright"), WithStrategy("basic"), WithStrategy("stats"),
+				WithStrategy("auto")} {
 				sys := MustLoad(string(src))
 				ans, err := sys.Eval(opt)
 				if err != nil {
