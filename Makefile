@@ -25,8 +25,10 @@ chaos:
 docs:
 	./scripts/check.sh docs
 
-# Perf-regression release gate: re-measure the committed BENCH_4/5/6/8
-# headline ratios on this tree, nonzero exit past the noise floor.
+# Perf-regression release gate: re-measure the committed BENCH_4/5/6/8/9
+# headline ratios (prepared speedup, partition overlap, serving fairness,
+# adaptive planning, disk-store cache effectiveness) on this tree,
+# nonzero exit past the noise floor.
 gate:
 	./scripts/check.sh gate
 

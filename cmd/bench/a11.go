@@ -1,0 +1,296 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/edb"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// a11Result is the BENCH_9.json payload: the storage-backend comparison.
+// Full scans are reported in microseconds for the whole relation; point
+// scans in nanoseconds per query (averaged over the probe set).
+type a11Result struct {
+	Rows         int `json:"rows"`
+	PointQueries int `json:"point_queries"`
+
+	MemFullScanUs   float64 `json:"memory_full_scan_us"`
+	DiskColdScanUs  float64 `json:"disk_cold_full_scan_us"`
+	DiskWarmScanUs  float64 `json:"disk_warm_full_scan_us"`
+	MemPointNs      float64 `json:"memory_point_scan_ns"`
+	DiskColdPointNs float64 `json:"disk_cold_point_scan_ns"`
+	DiskHotPointNs  float64 `json:"disk_hot_point_scan_ns"`
+
+	HotVsMemoryX float64 `json:"hot_point_vs_memory_x"`
+	ColdVsHotX   float64 `json:"cold_point_vs_hot_x"`
+
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	HotHitRatio   float64 `json:"hot_cache_hit_ratio"`
+	ByteIdentical bool    `json:"scan_byte_identical"`
+}
+
+// a11Checks are the acceptance criteria. Point-scan latencies are tiny
+// (hundreds of nanoseconds), so the hot-vs-memory bound is the only tight
+// ratio; the cold-vs-hot bound just requires the cache to be observably
+// doing something.
+func (r a11Result) a11Checks() map[string]bool {
+	return map[string]bool{
+		"hot_point_scan_within_2x_of_memory": r.HotVsMemoryX <= 2.0,
+		"hot_cache_hit_ratio_at_least_0.9":   r.HotHitRatio >= 0.9,
+		"cold_point_scan_slower_than_hot":    r.ColdVsHotX >= 1.0,
+		"memory_disk_byte_identical":         r.ByteIdentical,
+	}
+}
+
+// a11Median times f three times and returns the median, in nanoseconds.
+func a11Median(f func()) float64 {
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return float64(times[1].Nanoseconds())
+}
+
+// a11Seed inserts the workload into a store: a binary relation where every
+// key owns exactly fanout rows, so one point probe touches a constant
+// number of tuples on either backend.
+func a11Seed(st edb.Storage, rows, fanout int) {
+	syms := st.Symbols()
+	key := ast.PredKey{Name: "edge", Arity: 2}
+	for i := 0; i < rows; i++ {
+		st.Insert(key, relation.Tuple{
+			syms.Intern(fmt.Sprintf("k%d", i/fanout)),
+			syms.Intern(fmt.Sprintf("v%d", i)),
+		})
+	}
+}
+
+// a11Probes interns the probe bindings once, outside the timed region.
+func a11Probes(st edb.Storage, keys, queries, fanout int) []relation.Binding {
+	syms := st.Symbols()
+	probes := make([]relation.Binding, queries)
+	for q := 0; q < queries; q++ {
+		k := (q * 7919) % keys // deterministic spread over the keyspace
+		probes[q] = relation.Binding{syms.Intern(fmt.Sprintf("k%d", k)), symtab.NoSym}
+	}
+	_ = fanout
+	return probes
+}
+
+// a11PointPass runs every probe as a bound Scan and returns the number of
+// rows yielded (sanity-checked by the caller).
+func a11PointPass(st edb.Storage, key ast.PredKey, probes []relation.Binding) int {
+	n := 0
+	for _, b := range probes {
+		for range st.Scan(key, b) {
+			n++
+		}
+	}
+	return n
+}
+
+// a11Measure builds identical datasets on the in-memory and disk backends,
+// reopens the disk store so its caches start cold, and measures full-scan
+// and point-scan latency on both sides of the Storage interface.
+func a11Measure(quick bool) a11Result {
+	rows := 200000
+	queries := 2000
+	if quick {
+		rows, queries = 40000, 500
+	}
+	const fanout = 4
+	keys := rows / fanout
+	r := a11Result{Rows: rows, PointQueries: queries}
+	key := ast.PredKey{Name: "edge", Arity: 2}
+
+	mem := edb.NewMemory()
+	a11Seed(mem, rows, fanout)
+	mem.WarmFor(nil)
+
+	dir, err := os.MkdirTemp("", "mpq-a11-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	first, err := edb.OpenDisk(dir)
+	if err != nil {
+		panic(err)
+	}
+	a11Seed(first, rows, fanout)
+	if err := first.Close(); err != nil {
+		panic(err)
+	}
+
+	// Reopen: recovery from the segment files alone, every cache cold.
+	// The cold full scan is the first read the recovered store serves.
+	disk, err := edb.OpenDisk(dir)
+	if err != nil {
+		panic(err)
+	}
+	defer disk.Close()
+	count := func(st edb.Storage) int {
+		n := 0
+		for range st.Scan(key, nil) {
+			n++
+		}
+		return n
+	}
+	coldStart := time.Now()
+	if n := count(disk); n != rows {
+		panic(fmt.Sprintf("A11: disk cold scan %d rows, want %d", n, rows))
+	}
+	r.DiskColdScanUs = float64(time.Since(coldStart).Nanoseconds()) / 1e3
+	r.DiskWarmScanUs = a11Median(func() { count(disk) }) / 1e3
+	r.MemFullScanUs = a11Median(func() { count(mem) }) / 1e3
+
+	// Byte identity: the two backends must hold exactly the same rows, as
+	// rendered strings (symbol ids may differ between stores).
+	render := func(st edb.Storage) []string {
+		syms := st.Symbols()
+		var out []string
+		for row := range st.Scan(key, nil) {
+			out = append(out, syms.String(row[0])+"\t"+syms.String(row[1]))
+		}
+		sort.Strings(out)
+		return out
+	}
+	mr, dr := render(mem), render(disk)
+	r.ByteIdentical = len(mr) == len(dr)
+	for i := range mr {
+		if !r.ByteIdentical || mr[i] != dr[i] {
+			r.ByteIdentical = false
+			break
+		}
+	}
+
+	// Point scans. WarmFor pre-builds the column indexes on both backends
+	// so the timed region measures row retrieval, not index construction.
+	// The disk cold pass faults every probed tuple in from the segment
+	// files and populates the LRU; the hot pass must then serve from it.
+	disk.WarmFor(nil)
+	probes := a11Probes(mem, keys, queries, fanout)
+	diskProbes := a11Probes(disk, keys, queries, fanout)
+	want := queries * fanout
+	if got := a11PointPass(mem, key, probes); got != want {
+		panic(fmt.Sprintf("A11: memory point pass %d rows, want %d", got, want))
+	}
+	r.MemPointNs = a11Median(func() { a11PointPass(mem, key, probes) }) / float64(queries)
+
+	h0, m0 := disk.CacheStats()
+	coldStart = time.Now()
+	if got := a11PointPass(disk, key, diskProbes); got != want {
+		panic(fmt.Sprintf("A11: disk point pass %d rows, want %d", got, want))
+	}
+	r.DiskColdPointNs = float64(time.Since(coldStart).Nanoseconds()) / float64(queries)
+	r.DiskHotPointNs = a11Median(func() { a11PointPass(disk, key, diskProbes) }) / float64(queries)
+	h1, m1 := disk.CacheStats()
+	r.CacheHits, r.CacheMisses = h1-h0, m1-m0
+	if reads := (h1 + m1) - (h0 + m0); reads > 0 {
+		// Hit ratio over the hot passes alone: subtract the cold pass,
+		// which by construction misses on every probed tuple.
+		coldReads := uint64(want)
+		hotReads := reads - coldReads
+		hotHits := (h1 - h0) // the cold pass contributes no hits
+		if hotReads > 0 {
+			r.HotHitRatio = float64(hotHits) / float64(hotReads)
+		}
+	}
+
+	if r.MemPointNs > 0 {
+		r.HotVsMemoryX = r.DiskHotPointNs / r.MemPointNs
+	}
+	if r.DiskHotPointNs > 0 {
+		r.ColdVsHotX = r.DiskColdPointNs / r.DiskHotPointNs
+	}
+	return r
+}
+
+// a11Storage is experiment A11: the persistent-EDB cost model. It compares
+// the in-memory and disk-backed Storage implementations on full scans and
+// point scans, and measures what the hot-tuple LRU buys a disk-backed
+// server on a skewed (repeating) probe set. With -json the measurements
+// are written out as BENCH_9.json.
+func a11Storage(quick bool) {
+	header("A11", "persistent EDB: memory vs disk-backed storage",
+		"a disk-backed segment store makes mpqd restartable; the hot-tuple cache must keep its point-scan latency within the same regime as the in-memory store")
+
+	r := a11Measure(quick)
+
+	row("metric", "memory", "disk cold", "disk hot/warm")
+	row("---", "---", "---", "---")
+	row("full scan (us)", fmt.Sprintf("%.0f", r.MemFullScanUs),
+		fmt.Sprintf("%.0f", r.DiskColdScanUs), fmt.Sprintf("%.0f", r.DiskWarmScanUs))
+	row("point scan (ns/query)", fmt.Sprintf("%.0f", r.MemPointNs),
+		fmt.Sprintf("%.0f", r.DiskColdPointNs), fmt.Sprintf("%.0f", r.DiskHotPointNs))
+	fmt.Println()
+	fmt.Printf("rows %d, point queries %d; hot point scan %.2fx of memory, cold %.1fx of hot\n",
+		r.Rows, r.PointQueries, r.HotVsMemoryX, r.ColdVsHotX)
+	fmt.Printf("hot-tuple cache: %d hits / %d misses over the point passes, hot-pass hit ratio %.3f\n",
+		r.CacheHits, r.CacheMisses, r.HotHitRatio)
+
+	checks := r.a11Checks()
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println()
+	for _, name := range names {
+		verdict := "PASS"
+		if !checks[name] {
+			verdict = "FAIL"
+		}
+		fmt.Printf("check %-42s %s\n", name, verdict)
+	}
+
+	if jsonOut != "" {
+		record := struct {
+			Record      string          `json:"record"`
+			Description string          `json:"description"`
+			Machine     map[string]any  `json:"machine"`
+			Storage     a11Result       `json:"storage"`
+			Checks      map[string]bool `json:"checks"`
+			Commentary  string          `json:"commentary"`
+		}{
+			Record: "BENCH_9",
+			Description: "Persistent EDB storage comparison: the same workload (a binary " +
+				"relation, every key owning exactly 4 rows) measured through the Storage " +
+				"interface on the in-memory reference store and on the disk-backed segment " +
+				"store reopened cold from its files. Full scans stream the segment " +
+				"sequentially and bypass the tuple cache; point scans probe the column " +
+				"index and fetch rows through the hot-tuple LRU, so a repeated probe set " +
+				"is served from memory after the first pass. Reproduce with " +
+				"`go run ./cmd/bench -e A11 -json BENCH_9.json`. The hot-within-2x and " +
+				"hit-ratio checks are re-measured quick in `bench -gate`.",
+			Machine: machineInfo(),
+			Storage: r,
+			Checks:  checks,
+			Commentary: "The contract the engine relies on is that a warmed disk store is " +
+				"interchangeable with the in-memory one: point scans within 2x, identical " +
+				"rows. Cold numbers are honest about what a restart costs — the first " +
+				"scan after reopen pays per-tuple segment reads (and on a genuinely cold " +
+				"OS page cache would pay real IO on top) — but the LRU converts a skewed " +
+				"serving workload back to memory speed after one pass, which is the " +
+				"scenario a restarted mpqd faces: the store recovers instantly and the " +
+				"first queries re-warm exactly the tuples production traffic touches.",
+		}
+		buf, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}

@@ -1,5 +1,5 @@
 // The release gate: `bench -gate` re-measures the headline ratios of the
-// committed BENCH_4/5/6 records on the current tree and exits nonzero if
+// committed BENCH_4/5/6/8/9 records on the current tree and exits nonzero if
 // any falls past its noise floor. Every gated metric is a ratio (speedup,
 // overlap, p99 inflation) rather than an absolute time, so the gate is
 // portable across machines: a uniformly slower host moves numerator and
@@ -90,10 +90,13 @@ func runGate() int {
 	var b8 struct {
 		Adaptive a10Result `json:"adaptive"`
 	}
+	var b9 struct {
+		Storage a11Result `json:"storage"`
+	}
 	for _, b := range []struct {
 		path string
 		v    any
-	}{{"BENCH_4.json", &b4}, {"BENCH_5.json", &b5}, {"BENCH_6.json", &b6}, {"BENCH_8.json", &b8}} {
+	}{{"BENCH_4.json", &b4}, {"BENCH_5.json", &b5}, {"BENCH_6.json", &b6}, {"BENCH_8.json", &b8}, {"BENCH_9.json", &b9}} {
 		if err := gateLoad(b.path, b.v); err != nil {
 			add("baseline "+b.path, "unreadable", "committed", "-", false)
 		}
@@ -223,6 +226,18 @@ func runGate() int {
 	add("drift_plan_reopts", fmt.Sprintf("%d", r10.PlanReopts), ">= 1",
 		fmt.Sprintf("%d", b8.Adaptive.PlanReopts),
 		r10.PlanReopts >= 1 && r10.ReoptChangedPlan)
+
+	// Checks 10-11 — the A11 persistent-storage headline: the disk-backed
+	// store's hot-tuple cache must keep point scans within 2x of the
+	// in-memory store, at a near-unity hit ratio on a repeated probe set.
+	// Both are ratios, so the bounds stay tight across machines.
+	fmt.Println("measuring disk-store cache effectiveness (BENCH_9 baseline)...")
+	r11 := a11Measure(true)
+	add("disk_hot_point_vs_memory_x", fmt.Sprintf("%.2f", r11.HotVsMemoryX), "<= 2.00",
+		fmt.Sprintf("%.2f", b9.Storage.HotVsMemoryX),
+		r11.HotVsMemoryX <= 2.0 && r11.ByteIdentical)
+	add("disk_hot_cache_hit_ratio", fmt.Sprintf("%.3f", r11.HotHitRatio), ">= 0.900",
+		fmt.Sprintf("%.3f", b9.Storage.HotHitRatio), r11.HotHitRatio >= 0.9)
 
 	fmt.Println()
 	row("check", "measured", "bound", "baseline", "result")

@@ -67,6 +67,7 @@ var experiments = map[string]func(quick bool){
 	"A8":  a8Serving,
 	"A9":  a9Incremental,
 	"A10": a10Adaptive,
+	"A11": a11Storage,
 }
 
 // jsonOut, when non-empty, makes A3 write its measurement record (the
@@ -75,8 +76,9 @@ var experiments = map[string]func(quick bool){
 // (BENCH_3.json), A6 its prepared-query serving record (BENCH_4.json),
 // A7 its partitioned-parallelism record (BENCH_5.json), A8 its
 // multi-tenant serving record (BENCH_6.json), A9 its incremental
-// view-maintenance record (BENCH_7.json), and A10 its adaptive-planning
-// record (BENCH_8.json) to the named file.
+// view-maintenance record (BENCH_7.json), A10 its adaptive-planning
+// record (BENCH_8.json), and A11 its persistent-storage record
+// (BENCH_9.json) to the named file.
 var jsonOut string
 
 // machineInfo is the header every BENCH_*.json record carries, so perf
@@ -506,7 +508,7 @@ func e8Monotone(quick bool) {
 func joinPlanSizes(prog *ast.Program, cyclic bool) (ab, abc, final int) {
 	db := edb.FromProgram(prog)
 	rel := func(name string, arity int) *relation.Relation {
-		return db.Relation(ast.PredKey{Name: name, Arity: arity})
+		return edb.Materialize(db, ast.PredKey{Name: name, Arity: arity})
 	}
 	if !cyclic {
 		// a(X,Y,V), b(Y,U), c(V,T), d(T), e(U,Z)

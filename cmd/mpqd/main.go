@@ -93,10 +93,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "-serve: how long SIGINT/SIGTERM lets in-flight queries finish before aborting them")
 	batch := flag.Bool("batch", false, "-serve: evaluate with footnote-2 request batching")
 	partitions := flag.Int("partitions", 0, "hash-partitioned worker shards per node process (-serve: 0 = GOMAXPROCS; multi-site: must be set identically on every site, 0 = sequential)")
+	store := flag.String("store", "", "-serve: persistent EDB directory (created on first run; facts, statistics epoch, and result-cache version survive restarts)")
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *programPath, *metricsAddr, *drainTimeout, serve.Config{
+		runServe(*serveAddr, *programPath, *metricsAddr, *store, *drainTimeout, serve.Config{
 			Strategy:        *strategy,
 			ReoptThreshold:  *reoptThreshold,
 			Batch:           *batch,
@@ -253,12 +254,29 @@ func main() {
 // additionally gains POST /query. On a signal the server drains: new
 // work is rejected, in-flight queries get drainTimeout to finish, then
 // the rest are aborted with mpq.ErrCancelled.
-func runServe(addr, programPath, metricsAddr string, drainTimeout time.Duration, cfg serve.Config) {
+func runServe(addr, programPath, metricsAddr, storeDir string, drainTimeout time.Duration, cfg serve.Config) {
 	if programPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -serve ADDR [-max-concurrent N] [-deadline D] [-metrics ADDR]")
+		fmt.Fprintln(os.Stderr, "usage: mpqd -program q.dl -serve ADDR [-store DIR] [-max-concurrent N] [-deadline D] [-metrics ADDR]")
 		os.Exit(2)
 	}
-	sys, err := mpq.LoadFile(programPath)
+	var sys *mpq.System
+	var err error
+	if storeDir != "" {
+		// Persistent EDB: recover facts, the statistics epoch, and the
+		// result-cache version from the store, then replay the program's own
+		// facts idempotently (see mpq.OpenSystem).
+		var src []byte
+		if src, err = os.ReadFile(programPath); err == nil {
+			sys, err = mpq.OpenSystem(storeDir, string(src))
+		}
+		if err == nil {
+			defer sys.Close()
+			fmt.Fprintf(os.Stderr, "mpqd: persistent EDB %s recovered at version %d (%d facts)\n",
+				storeDir, sys.EDBVersion(), sys.DB.Facts())
+		}
+	} else {
+		sys, err = mpq.LoadFile(programPath)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -50,11 +50,14 @@ type state struct {
 	prog   *ast.Program
 	db     *edb.Database
 	idb    map[ast.PredKey]*relation.Relation
+	base   map[ast.PredKey]*relation.Relation // materialized EDB views
 	counts Counts
 }
 
 func newState(prog *ast.Program, db *edb.Database) *state {
-	s := &state{prog: prog, db: db, idb: make(map[ast.PredKey]*relation.Relation)}
+	s := &state{prog: prog, db: db,
+		idb:  make(map[ast.PredKey]*relation.Relation),
+		base: make(map[ast.PredKey]*relation.Relation)}
 	for _, k := range prog.IDBPreds() {
 		s.idb[k] = relation.New(k.Arity)
 	}
@@ -62,12 +65,19 @@ func newState(prog *ast.Program, db *edb.Database) *state {
 }
 
 // rel resolves an atom's current relation: IDB if defined by rules, else
-// the base relation.
+// the base relation, materialized from the store once per evaluation (the
+// in-memory backend hands back its live relation, so this is zero-copy
+// there).
 func (s *state) rel(key ast.PredKey) *relation.Relation {
 	if r, ok := s.idb[key]; ok {
 		return r
 	}
-	return s.db.Relation(key)
+	r, ok := s.base[key]
+	if !ok {
+		r = edb.Materialize(s.db, key)
+		s.base[key] = r
+	}
+	return r
 }
 
 func (s *state) result() *Result {

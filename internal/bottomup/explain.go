@@ -141,7 +141,7 @@ func (e *Explainer) Explain(pred string, args ...string) (*Proof, bool) {
 func (e *Explainer) prove(key ast.PredKey, t relation.Tuple, atom ast.Atom) (*Proof, bool) {
 	// IDB tuples never live in the base relations (Validate forbids EDB
 	// predicates in rule heads), so membership there means an EDB leaf.
-	if e.db.Relation(key).Contains(t) {
+	if edb.Contains(e.db, key, t) {
 		return &Proof{Atom: atom, EDB: true}, true
 	}
 	w, ok := e.witnesses[key][t.Key()]

@@ -1,0 +1,1002 @@
+// Disk-backed Storage: append-only segment files per relation, a compact
+// journal giving the store a persistent version/change log, a symbol-table
+// log keeping interned ids stable across restarts, and a bounded hot-tuple
+// LRU cache in front of point reads. See doc/STORAGE.md for the layout and
+// the durability contract.
+//
+// On-disk layout (all integers little-endian):
+//
+//	MANIFEST     "mpq-edb v1\n" — format guard.
+//	syms.log     repeated [uvarint len][bytes]: interned symbols in id
+//	             order, so replaying the log reproduces identical ids.
+//	preds.tab    repeated [uvarint len][name][uvarint arity]: predicates
+//	             in first-insert order; a predicate's index is its id.
+//	journal.log  repeated 8-byte records [uint32 predID][uint32 ordinal]:
+//	             one per successful insert, in commit order. The record
+//	             count IS the store version, so the statistics epoch and
+//	             result-cache version survive a restart for free.
+//	seg-<id>.dat fixed-width rows (arity × 4 bytes), append-only; a row's
+//	             ordinal is its offset / width.
+//
+// Crash safety (against process kill; power-loss durability requires the
+// Close-time sync): writes happen segment-first, journal-second, with no
+// in-RAM buffering, so the journal never references a row that was not
+// fully written. Reopen truncates a torn journal tail to a record
+// boundary, truncates every segment to exactly the journaled row count
+// (dropping orphan rows from a crash between the two writes), and drops
+// torn tail entries of the symbol and predicate logs the same way.
+package edb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+const (
+	diskManifest     = "mpq-edb v1\n"
+	journalRecSize   = 8
+	diskMaxIndexCols = 8 // mirror of relation.maxIndexCols
+	// DefaultCacheTuples bounds the hot-tuple LRU when DiskOptions leaves
+	// CacheTuples zero: 64Ki tuples ≈ a few MB for typical arities.
+	DefaultCacheTuples = 64 * 1024
+	// scanChunkRows is the batch size of sequential segment scans: one
+	// read syscall and one decode buffer per chunk.
+	scanChunkRows = 256
+)
+
+// DiskOptions tune OpenDisk. The zero value is ready to use.
+type DiskOptions struct {
+	// CacheTuples bounds the hot-tuple LRU cache (0 = DefaultCacheTuples,
+	// negative disables caching). Point reads — index probes and journal
+	// row fetches — populate it; sequential scans bypass it so a full
+	// table scan cannot evict the hot set.
+	CacheTuples int
+	// removeOnClose deletes the store directory on Close — the
+	// MPQ_STORE=disk temporary-store mode.
+	removeOnClose bool
+}
+
+// DiskStore is the disk-backed Storage. Safe for concurrent readers and
+// for a lone writer overlapping readers (the same contract as the
+// in-memory store): committed rows are immutable, so file reads need no
+// lock; the in-RAM metadata (dedup set, indexes, statistics) lives behind
+// an RWMutex.
+type DiskStore struct {
+	dir  string
+	syms *symtab.Table
+	opts DiskOptions
+
+	mu            sync.RWMutex
+	symsFile      *os.File
+	symsOff       int64
+	symsPersisted int // symbol ids 1..symsPersisted are on disk
+	predsFile     *os.File
+	predsOff      int64
+	journalFile   *os.File
+	preds         []*diskRel
+	byKey         map[ast.PredKey]*diskRel
+
+	version atomic.Uint64 // == committed journal record count
+
+	cache *tupleCache
+
+	closed bool
+}
+
+// diskRel is the in-RAM metadata of one relation's segment file: the
+// committed row count, the open-addressed dedup set over row hashes
+// (≈12 bytes per row; the rows themselves stay on disk), the hash
+// indexes over row ordinals, and the statistics sketches.
+type diskRel struct {
+	key   ast.PredKey
+	id    uint32
+	f     *os.File
+	width int // bytes per row: arity × 4 (0 for propositional predicates)
+	n     int // committed rows
+
+	hashes  []uint64
+	slots   []int32 // ordinal+1; 0 = empty
+	indexes map[uint64]*diskIndex
+	stats   relStats
+}
+
+// diskIndex mirrors relation's composite hash index, over row ordinals.
+type diskIndex struct {
+	cols []int
+	m    map[uint64][]int32
+}
+
+// OpenDisk opens (creating if necessary) a disk store rooted at dir and
+// replays its logs: symbols re-intern in id order, segments are truncated
+// to the journaled row counts, and the dedup sets, statistics sketches,
+// and version are rebuilt. The returned store's Version equals the count
+// of successful inserts ever committed, so statistics epochs and
+// result-cache keys derived from it survive the restart.
+func OpenDisk(dir string, opts ...DiskOptions) (*DiskStore, error) {
+	var o DiskOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("edb: disk store: %w", err)
+	}
+	ds := &DiskStore{dir: dir, syms: symtab.New(), opts: o,
+		byKey: make(map[ast.PredKey]*diskRel)}
+	if n := o.CacheTuples; n >= 0 {
+		if n == 0 {
+			n = DefaultCacheTuples
+		}
+		ds.cache = newTupleCache(n)
+	}
+	if err := ds.open(); err != nil {
+		ds.closeFiles()
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (ds *DiskStore) open() error {
+	if err := ds.checkManifest(); err != nil {
+		return err
+	}
+	if err := ds.loadSyms(); err != nil {
+		return err
+	}
+	if err := ds.loadPreds(); err != nil {
+		return err
+	}
+	return ds.replayJournal()
+}
+
+// Dir returns the store's root directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+func (ds *DiskStore) path(name string) string { return filepath.Join(ds.dir, name) }
+
+func (ds *DiskStore) checkManifest() error {
+	p := ds.path("MANIFEST")
+	b, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return os.WriteFile(p, []byte(diskManifest), 0o666)
+	}
+	if err != nil {
+		return fmt.Errorf("edb: disk store: %w", err)
+	}
+	if string(b) != diskManifest {
+		return fmt.Errorf("edb: disk store %s: unrecognized manifest %q", ds.dir, string(b))
+	}
+	return nil
+}
+
+// openLog opens (creating) a log file for read/write.
+func (ds *DiskStore) openLog(name string) (*os.File, error) {
+	f, err := os.OpenFile(ds.path(name), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("edb: disk store: %w", err)
+	}
+	return f, nil
+}
+
+// loadSyms replays syms.log: every persisted symbol re-interns in id
+// order, reproducing the exact ids stored rows were written with. A torn
+// tail entry (crash mid-append) is truncated away.
+func (ds *DiskStore) loadSyms() error {
+	f, err := ds.openLog("syms.log")
+	if err != nil {
+		return err
+	}
+	ds.symsFile = f
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("edb: disk store: syms.log: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		n, w := binary.Uvarint(b[off:])
+		if w <= 0 || off+w+int(n) > len(b) {
+			break // torn tail
+		}
+		text := string(b[off+w : off+w+int(n)])
+		if got, want := ds.syms.Intern(text), symtab.Sym(ds.symsPersisted+1); got != want {
+			return fmt.Errorf("edb: disk store: syms.log: duplicate symbol %q (id %d, expected %d)", text, got, want)
+		}
+		ds.symsPersisted++
+		off += w + int(n)
+	}
+	if off < len(b) {
+		if err := f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("edb: disk store: syms.log: %w", err)
+		}
+	}
+	ds.symsOff = int64(off)
+	return nil
+}
+
+// loadPreds replays preds.tab and opens each predicate's segment file.
+func (ds *DiskStore) loadPreds() error {
+	f, err := ds.openLog("preds.tab")
+	if err != nil {
+		return err
+	}
+	ds.predsFile = f
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("edb: disk store: preds.tab: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		n, w := binary.Uvarint(b[off:])
+		if w <= 0 || off+w+int(n) > len(b) {
+			break
+		}
+		name := string(b[off+w : off+w+int(n)])
+		arity, w2 := binary.Uvarint(b[off+w+int(n):])
+		if w2 <= 0 {
+			break
+		}
+		key := ast.PredKey{Name: name, Arity: int(arity)}
+		if _, err := ds.addRel(key, false); err != nil {
+			return err
+		}
+		off += w + int(n) + w2
+	}
+	if off < len(b) {
+		if err := f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("edb: disk store: preds.tab: %w", err)
+		}
+	}
+	ds.predsOff = int64(off)
+	return nil
+}
+
+// addRel registers a relation, optionally appending it to preds.tab
+// (persist=true for new predicates at runtime, false during replay).
+func (ds *DiskStore) addRel(key ast.PredKey, persist bool) (*diskRel, error) {
+	if key.Arity < 0 || key.Arity > (1<<16) {
+		return nil, fmt.Errorf("edb: disk store: bad arity %d for %s", key.Arity, key.Name)
+	}
+	f, err := ds.openLog(fmt.Sprintf("seg-%d.dat", len(ds.preds)))
+	if err != nil {
+		return nil, err
+	}
+	dr := &diskRel{key: key, id: uint32(len(ds.preds)), f: f, width: key.Arity * 4,
+		stats: relStats{cols: make([]colSketch, key.Arity)}}
+	if persist {
+		var buf []byte
+		buf = binary.AppendUvarint(buf, uint64(len(key.Name)))
+		buf = append(buf, key.Name...)
+		buf = binary.AppendUvarint(buf, uint64(key.Arity))
+		if _, err := ds.predsFile.WriteAt(buf, ds.predsOff); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("edb: disk store: preds.tab: %w", err)
+		}
+		ds.predsOff += int64(len(buf))
+	}
+	ds.preds = append(ds.preds, dr)
+	ds.byKey[key] = dr
+	return dr, nil
+}
+
+// replayJournal truncates the journal to a record boundary, derives each
+// relation's committed row count, truncates the segments to match, and
+// rebuilds the in-RAM dedup sets and statistics by one sequential scan
+// per segment.
+func (ds *DiskStore) replayJournal() error {
+	f, err := ds.openLog("journal.log")
+	if err != nil {
+		return err
+	}
+	ds.journalFile = f
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("edb: disk store: journal.log: %w", err)
+	}
+	counts := make([]int, len(ds.preds))
+	recs := 0
+	for off := 0; off+journalRecSize <= len(b); off += journalRecSize {
+		predID := binary.LittleEndian.Uint32(b[off:])
+		ordinal := binary.LittleEndian.Uint32(b[off+4:])
+		// A record referencing an unknown predicate or a non-sequential
+		// ordinal marks the torn region of an interrupted write burst:
+		// everything from here on is discarded.
+		if int(predID) >= len(ds.preds) || int(ordinal) != counts[predID] {
+			break
+		}
+		counts[predID]++
+		recs++
+	}
+	if want := int64(recs * journalRecSize); want != int64(len(b)) {
+		if err := f.Truncate(want); err != nil {
+			return fmt.Errorf("edb: disk store: journal.log: %w", err)
+		}
+	}
+	ds.version.Store(uint64(recs))
+	for i, dr := range ds.preds {
+		if err := ds.rebuildRel(dr, counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildRel truncates the segment to the journaled row count and rebuilds
+// the dedup set and statistics with one sequential scan.
+func (ds *DiskStore) rebuildRel(dr *diskRel, count int) error {
+	if err := dr.f.Truncate(int64(count * dr.width)); err != nil {
+		return fmt.Errorf("edb: disk store: %s segment: %w", dr.key.Name, err)
+	}
+	dr.n = count
+	if count == 0 {
+		return nil
+	}
+	dr.hashes = make([]uint64, 0, count)
+	size := 16
+	for size*3 < (count+1)*4 {
+		size *= 2
+	}
+	dr.slots = make([]int32, size)
+	for t, err := range ds.segRows(dr, 0, count) {
+		if err != nil {
+			return err
+		}
+		h := relation.HashTuple(t)
+		dr.place(h, int32(len(dr.hashes)+1))
+		dr.hashes = append(dr.hashes, h)
+		dr.stats.note(t)
+	}
+	return nil
+}
+
+// ---- row IO ---------------------------------------------------------------
+
+// segRows streams rows [from, to) of the segment by chunked reads — the
+// sequential path that bypasses the tuple cache. Each chunk decodes into a
+// fresh symbol buffer, so yielded tuples remain valid after the scan.
+func (ds *DiskStore) segRows(dr *diskRel, from, to int) iter.Seq2[relation.Tuple, error] {
+	return func(yield func(relation.Tuple, error) bool) {
+		if dr.width == 0 {
+			for ord := from; ord < to; ord++ {
+				if !yield(relation.Tuple{}, nil) {
+					return
+				}
+			}
+			return
+		}
+		buf := make([]byte, scanChunkRows*dr.width)
+		for ord := from; ord < to; {
+			rows := to - ord
+			if rows > scanChunkRows {
+				rows = scanChunkRows
+			}
+			if _, err := dr.f.ReadAt(buf[:rows*dr.width], int64(ord)*int64(dr.width)); err != nil {
+				yield(nil, fmt.Errorf("edb: disk store: %s segment row %d: %w", dr.key.Name, ord, err))
+				return
+			}
+			syms := make([]symtab.Sym, rows*dr.key.Arity)
+			for i := range syms {
+				syms[i] = symtab.Sym(binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			for r := 0; r < rows; r++ {
+				t := relation.Tuple(syms[r*dr.key.Arity : (r+1)*dr.key.Arity])
+				if !yield(t, nil) {
+					return
+				}
+				ord++
+			}
+		}
+	}
+}
+
+// readRow fetches one committed row by ordinal. Point reads go through
+// the hot-tuple cache when cached is true; dedup-verification reads pass
+// false so duplicate-insert probes cannot evict hot query tuples.
+func (ds *DiskStore) readRow(dr *diskRel, ord int32, cached bool) (relation.Tuple, error) {
+	if dr.width == 0 {
+		return relation.Tuple{}, nil
+	}
+	ck := uint64(dr.id)<<32 | uint64(uint32(ord))
+	if cached && ds.cache != nil {
+		if t, ok := ds.cache.get(ck); ok {
+			return t, nil
+		}
+	}
+	buf := make([]byte, dr.width)
+	if _, err := dr.f.ReadAt(buf, int64(ord)*int64(dr.width)); err != nil {
+		return nil, fmt.Errorf("edb: disk store: %s segment row %d: %w", dr.key.Name, ord, err)
+	}
+	t := make(relation.Tuple, dr.key.Arity)
+	for i := range t {
+		t[i] = symtab.Sym(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	if cached && ds.cache != nil {
+		ds.cache.put(ck, t)
+	}
+	return t, nil
+}
+
+// ---- dedup ----------------------------------------------------------------
+
+func (dr *diskRel) place(h uint64, ref int32) {
+	mask := uint64(len(dr.slots) - 1)
+	i := h & mask
+	for dr.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	dr.slots[i] = ref
+}
+
+func (dr *diskRel) grow() {
+	need := dr.n + 1
+	if len(dr.slots) > 0 && need*4 <= len(dr.slots)*3 {
+		return
+	}
+	size := 16
+	for size*3 < need*4 {
+		size *= 2
+	}
+	dr.slots = make([]int32, size)
+	for ord, h := range dr.hashes {
+		dr.place(h, int32(ord+1))
+	}
+}
+
+// lookup returns the ordinal of the row equal to t (hash h), or -1.
+// Equality candidates are verified against the segment (uncached reads).
+func (ds *DiskStore) lookup(dr *diskRel, h uint64, t relation.Tuple) (int32, error) {
+	if len(dr.slots) == 0 {
+		return -1, nil
+	}
+	mask := uint64(len(dr.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := dr.slots[i]
+		if s == 0 {
+			return -1, nil
+		}
+		ord := s - 1
+		if dr.hashes[ord] == h {
+			row, err := ds.readRow(dr, ord, false)
+			if err != nil {
+				return -1, err
+			}
+			if row.Equal(t) {
+				return ord, nil
+			}
+		}
+	}
+}
+
+// ---- Storage --------------------------------------------------------------
+
+func (ds *DiskStore) Symbols() *symtab.Table { return ds.syms }
+
+// Insert commits one row: symbols first (so stored ids always resolve),
+// then the segment row, then the journal record, then the in-RAM metadata
+// and the version bump. IO errors panic — the store cannot both report
+// "not inserted" and stay consistent with a half-applied write, and every
+// caller treats the EDB as infallible memory; a panicking node process is
+// converted to a typed query abort by the engine.
+func (ds *DiskStore) Insert(key ast.PredKey, t relation.Tuple) bool {
+	if len(t) != key.Arity {
+		panic(fmt.Sprintf("edb: inserting arity-%d tuple into %s/%d", len(t), key.Name, key.Arity))
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	dr, ok := ds.byKey[key]
+	if !ok {
+		var err error
+		if dr, err = ds.addRel(key, true); err != nil {
+			panic(err)
+		}
+	}
+	h := relation.HashTuple(t)
+	if ord, err := ds.lookup(dr, h, t); err != nil {
+		panic(err)
+	} else if ord >= 0 {
+		return false
+	}
+	if err := ds.commitRow(dr, h, t); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+func (ds *DiskStore) commitRow(dr *diskRel, h uint64, t relation.Tuple) error {
+	if err := ds.persistSyms(); err != nil {
+		return err
+	}
+	ord := int32(dr.n)
+	if dr.width > 0 {
+		buf := make([]byte, dr.width)
+		for i, s := range t {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(s))
+		}
+		if _, err := dr.f.WriteAt(buf, int64(ord)*int64(dr.width)); err != nil {
+			return fmt.Errorf("edb: disk store: %s segment: %w", dr.key.Name, err)
+		}
+	}
+	var rec [journalRecSize]byte
+	binary.LittleEndian.PutUint32(rec[:], dr.id)
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ord))
+	v := ds.version.Load()
+	if _, err := ds.journalFile.WriteAt(rec[:], int64(v)*journalRecSize); err != nil {
+		return fmt.Errorf("edb: disk store: journal.log: %w", err)
+	}
+	dr.grow()
+	dr.place(h, ord+1)
+	dr.hashes = append(dr.hashes, h)
+	dr.n++
+	for _, ix := range dr.indexes {
+		ix.add(t, ord)
+	}
+	dr.stats.note(t)
+	ds.version.Add(1)
+	return nil
+}
+
+// persistSyms appends every not-yet-persisted symbol to syms.log, in id
+// order. Called before a row referencing them is committed, so stored ids
+// always resolve after reopen. Rule-only constants ride along — harmless,
+// and it keeps the invariant trivially: ids 1..symsPersisted are on disk.
+func (ds *DiskStore) persistSyms() error {
+	total := ds.syms.Len()
+	if ds.symsPersisted >= total {
+		return nil
+	}
+	var buf []byte
+	for id := ds.symsPersisted + 1; id <= total; id++ {
+		text := ds.syms.String(symtab.Sym(id))
+		buf = binary.AppendUvarint(buf, uint64(len(text)))
+		buf = append(buf, text...)
+	}
+	if _, err := ds.symsFile.WriteAt(buf, ds.symsOff); err != nil {
+		return fmt.Errorf("edb: disk store: syms.log: %w", err)
+	}
+	ds.symsOff += int64(len(buf))
+	ds.symsPersisted = total
+	return nil
+}
+
+func (ds *DiskStore) Scan(key ast.PredKey, b relation.Binding) iter.Seq[relation.Tuple] {
+	return func(yield func(relation.Tuple) bool) {
+		var cols [diskMaxIndexCols]int
+		var vals [diskMaxIndexCols]symtab.Sym
+		nb := 0
+		for i, v := range b {
+			if v != symtab.NoSym && nb < diskMaxIndexCols {
+				cols[nb], vals[nb] = i, v
+				nb++
+			}
+		}
+		ds.mu.RLock()
+		dr, ok := ds.byKey[key]
+		if !ok {
+			ds.mu.RUnlock()
+			return
+		}
+		if nb == 0 {
+			// Sequential scan: snapshot the committed count, then stream
+			// the segment without locks (committed rows are immutable) and
+			// without touching the cache.
+			n := dr.n
+			ds.mu.RUnlock()
+			for t, err := range ds.segRows(dr, 0, n) {
+				if err != nil {
+					panic(err)
+				}
+				if !yield(t) {
+					return
+				}
+			}
+			return
+		}
+		// Point probe: find (building if needed) the composite index over
+		// the bound columns, snapshot the candidate list, then verify and
+		// yield through the hot-tuple cache.
+		ix, ok := dr.indexes[diskColsKey(cols[:nb])]
+		if ok {
+			ords := ix.probe(vals[:nb])
+			ds.mu.RUnlock()
+			ds.yieldOrds(dr, ords, b, yield)
+			return
+		}
+		ds.mu.RUnlock()
+		ds.mu.Lock()
+		ix, err := ds.buildIndex(dr, cols[:nb])
+		if err != nil {
+			ds.mu.Unlock()
+			panic(err)
+		}
+		ords := ix.probe(vals[:nb])
+		ds.mu.Unlock()
+		ds.yieldOrds(dr, ords, b, yield)
+	}
+}
+
+// yieldOrds fetches candidate ordinals through the cache, verifies the
+// binding (index keys are hashes; columns past the index cap are not in
+// the key at all), and yields the matches.
+func (ds *DiskStore) yieldOrds(dr *diskRel, ords []int32, b relation.Binding, yield func(relation.Tuple) bool) {
+	for _, ord := range ords {
+		t, err := ds.readRow(dr, ord, true)
+		if err != nil {
+			panic(err)
+		}
+		if b.Matches(t) && !yield(t) {
+			return
+		}
+	}
+}
+
+func (ds *DiskStore) ScanSince(key ast.PredKey, from int) iter.Seq[relation.Tuple] {
+	return func(yield func(relation.Tuple) bool) {
+		ds.mu.RLock()
+		dr, ok := ds.byKey[key]
+		var n int
+		if ok {
+			n = dr.n
+		}
+		ds.mu.RUnlock()
+		if !ok || from >= n {
+			return
+		}
+		for t, err := range ds.segRows(dr, from, n) {
+			if err != nil {
+				panic(err)
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+func (ds *DiskStore) Has(key ast.PredKey) bool {
+	ds.mu.RLock()
+	_, ok := ds.byKey[key]
+	ds.mu.RUnlock()
+	return ok
+}
+
+func (ds *DiskStore) Preds() []ast.PredKey {
+	ds.mu.RLock()
+	out := make([]ast.PredKey, 0, len(ds.preds))
+	for _, dr := range ds.preds {
+		out = append(out, dr.key)
+	}
+	ds.mu.RUnlock()
+	sortPreds(out)
+	return out
+}
+
+func (ds *DiskStore) Cardinality(key ast.PredKey) int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if dr, ok := ds.byKey[key]; ok {
+		return dr.n
+	}
+	return 0
+}
+
+func (ds *DiskStore) Distinct(key ast.PredKey, col int) int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	dr, ok := ds.byKey[key]
+	if !ok || col < 0 || col >= dr.key.Arity || dr.n == 0 {
+		return 0
+	}
+	ix, err := ds.buildIndex(dr, []int{col})
+	if err != nil {
+		panic(err)
+	}
+	return len(ix.m) // single-column keys are the symbols themselves: exact
+}
+
+func (ds *DiskStore) Stats() Stats {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	live := make(map[ast.PredKey]*relStats, len(ds.preds))
+	for _, dr := range ds.preds {
+		live[dr.key] = &dr.stats
+	}
+	return snapshotStats(ds.version.Load(), live)
+}
+
+func (ds *DiskStore) Version() uint64 { return ds.version.Load() }
+
+// ChangesSince reads the journal tail past v and resolves each record's
+// row — through the cache: a subscription's delta rows are hot by
+// definition.
+func (ds *DiskStore) ChangesSince(v uint64) []Change {
+	cur := ds.version.Load()
+	if v >= cur {
+		return nil
+	}
+	ds.mu.RLock()
+	preds := ds.preds // the slice header is stable; append replaces it
+	ds.mu.RUnlock()
+	buf := make([]byte, (cur-v)*journalRecSize)
+	if _, err := ds.journalFile.ReadAt(buf, int64(v)*journalRecSize); err != nil {
+		panic(fmt.Errorf("edb: disk store: journal.log: %w", err))
+	}
+	out := make([]Change, 0, cur-v)
+	for i := uint64(0); i < cur-v; i++ {
+		predID := binary.LittleEndian.Uint32(buf[i*journalRecSize:])
+		ordinal := binary.LittleEndian.Uint32(buf[i*journalRecSize+4:])
+		dr := preds[predID]
+		row, err := ds.readRow(dr, int32(ordinal), true)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, Change{Seq: v + i + 1, Key: dr.key, Row: row})
+	}
+	return out
+}
+
+func (ds *DiskStore) WarmFor(needs []IndexNeed) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for _, dr := range ds.preds {
+		for c := 0; c < dr.key.Arity; c++ {
+			if _, err := ds.buildIndex(dr, []int{c}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, nd := range needs {
+		dr, ok := ds.byKey[nd.Key]
+		if !ok || len(nd.Cols) == 0 {
+			continue
+		}
+		if _, err := ds.buildIndex(dr, nd.Cols); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// contains is Contains's fast path through the dedup set.
+func (ds *DiskStore) contains(key ast.PredKey, t relation.Tuple) bool {
+	if key.Arity != len(t) {
+		return false
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	dr, ok := ds.byKey[key]
+	if !ok {
+		return false
+	}
+	ord, err := ds.lookup(dr, relation.HashTuple(t), t)
+	if err != nil {
+		panic(err)
+	}
+	return ord >= 0
+}
+
+// CacheStats reports the hot-tuple cache's cumulative hits and misses
+// (both zero when the cache is disabled) — the cache-effectiveness signal
+// benchmarked by A11/BENCH_9.
+func (ds *DiskStore) CacheStats() (hits, misses uint64) {
+	if ds.cache == nil {
+		return 0, 0
+	}
+	return ds.cache.hits.Load(), ds.cache.misses.Load()
+}
+
+// Sync flushes all store files to stable storage.
+func (ds *DiskStore) Sync() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.syncLocked()
+}
+
+func (ds *DiskStore) syncLocked() error {
+	var first error
+	sync := func(f *os.File) {
+		if f != nil {
+			if err := f.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	sync(ds.symsFile)
+	sync(ds.predsFile)
+	for _, dr := range ds.preds {
+		sync(dr.f)
+	}
+	sync(ds.journalFile) // last: a synced journal record implies synced rows
+	return first
+}
+
+// Close syncs and closes every file. Closing twice is harmless. Temporary
+// stores (MPQ_STORE=disk) also remove their directory.
+func (ds *DiskStore) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return nil
+	}
+	ds.closed = true
+	err := ds.syncLocked()
+	ds.mu.Unlock()
+	runtime.SetFinalizer(ds, nil)
+	ds.closeFiles()
+	if ds.opts.removeOnClose {
+		os.RemoveAll(ds.dir)
+	}
+	return err
+}
+
+func (ds *DiskStore) closeFiles() {
+	for _, f := range []*os.File{ds.symsFile, ds.predsFile, ds.journalFile} {
+		if f != nil {
+			f.Close()
+		}
+	}
+	for _, dr := range ds.preds {
+		if dr.f != nil {
+			dr.f.Close()
+		}
+	}
+}
+
+// ---- indexes --------------------------------------------------------------
+
+// diskColsKey packs an index's column list into its map key (the same
+// scheme as relation.colsKey).
+func diskColsKey(cols []int) uint64 {
+	k := uint64(0)
+	for _, c := range cols {
+		k = k<<8 | uint64(c+1)
+	}
+	return k
+}
+
+func (ix *diskIndex) rowKey(t relation.Tuple) uint64 {
+	if len(ix.cols) == 1 {
+		return uint64(uint32(t[ix.cols[0]]))
+	}
+	return relation.HashTupleAt(t, ix.cols)
+}
+
+func (ix *diskIndex) probe(vals []symtab.Sym) []int32 {
+	if len(ix.cols) == 1 {
+		return ix.m[uint64(uint32(vals[0]))]
+	}
+	return ix.m[relation.HashTuple(vals)]
+}
+
+func (ix *diskIndex) add(t relation.Tuple, ord int32) {
+	k := ix.rowKey(t)
+	ix.m[k] = append(ix.m[k], ord)
+}
+
+// buildIndex returns (building by one sequential segment scan if needed)
+// the hash index over cols, capped at diskMaxIndexCols. Caller holds mu.
+func (ds *DiskStore) buildIndex(dr *diskRel, cols []int) (*diskIndex, error) {
+	if len(cols) > diskMaxIndexCols {
+		cols = cols[:diskMaxIndexCols]
+	}
+	k := diskColsKey(cols)
+	if ix, ok := dr.indexes[k]; ok {
+		return ix, nil
+	}
+	ix := &diskIndex{cols: append([]int(nil), cols...), m: make(map[uint64][]int32, dr.n)}
+	ord := int32(0)
+	for t, err := range ds.segRows(dr, 0, dr.n) {
+		if err != nil {
+			return nil, err
+		}
+		ix.add(t, ord)
+		ord++
+	}
+	if dr.indexes == nil {
+		dr.indexes = make(map[uint64]*diskIndex)
+	}
+	dr.indexes[k] = ix
+	return ix, nil
+}
+
+// ---- hot-tuple cache ------------------------------------------------------
+
+// tupleCache is a bounded LRU over (predicate, ordinal) → tuple. Point
+// reads (index probes, journal fetches) populate it; sequential scans
+// bypass it entirely, so scanning a huge relation never evicts the hot
+// set a point-query workload depends on.
+type tupleCache struct {
+	capacity int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+
+	mu   sync.Mutex
+	m    map[uint64]*cacheEnt
+	head *cacheEnt // most recent
+	tail *cacheEnt // least recent
+}
+
+type cacheEnt struct {
+	key        uint64
+	t          relation.Tuple
+	prev, next *cacheEnt
+}
+
+func newTupleCache(capacity int) *tupleCache {
+	return &tupleCache{capacity: capacity, m: make(map[uint64]*cacheEnt, capacity)}
+}
+
+func (c *tupleCache) get(key uint64) (relation.Tuple, bool) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.moveFront(e)
+	t := e.t
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return t, true
+}
+
+func (c *tupleCache) put(key uint64, t relation.Tuple) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		e.t = t
+		c.moveFront(e)
+		c.mu.Unlock()
+		return
+	}
+	e := &cacheEnt{key: key, t: t}
+	c.m[key] = e
+	c.push(e)
+	if len(c.m) > c.capacity {
+		ev := c.tail
+		c.unlink(ev)
+		delete(c.m, ev.key)
+	}
+	c.mu.Unlock()
+}
+
+func (c *tupleCache) push(e *cacheEnt) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *tupleCache) unlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *tupleCache) moveFront(e *cacheEnt) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.push(e)
+}

@@ -1,0 +1,341 @@
+package edb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// TestDiskReopen is the core durability test: everything a restarted
+// server needs — facts, symbol renderings, version (the statistics epoch
+// and result-cache key), change log, statistics — must come back from a
+// cleanly closed store.
+func TestDiskReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore(st)
+	tern := ast.PredKey{Name: "t", Arity: 3}
+	before := collect(st, tern, nil)
+	wantVersion := st.Version()
+	wantChanges := st.ChangesSince(0)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v := re.Version(); v != wantVersion {
+		t.Fatalf("version after reopen = %d, want %d", v, wantVersion)
+	}
+	after := collect(re, tern, nil)
+	if len(after) != len(before) {
+		t.Fatalf("reopen: %d rows, want %d", len(after), len(before))
+	}
+	for i := range before {
+		// Same ordinals AND same symbol ids: the syms.log replay pins the
+		// interning order.
+		if !after[i].Equal(before[i]) {
+			t.Fatalf("row %d = %v, want %v", i, after[i], before[i])
+		}
+		if got, want := after[i].String(re.Symbols()), before[i].String(st.Symbols()); got != want {
+			t.Fatalf("row %d renders %q, want %q", i, got, want)
+		}
+	}
+	reChanges := re.ChangesSince(0)
+	if len(reChanges) != len(wantChanges) {
+		t.Fatalf("change log: %d entries, want %d", len(reChanges), len(wantChanges))
+	}
+	for i := range wantChanges {
+		if reChanges[i].Seq != wantChanges[i].Seq || reChanges[i].Key != wantChanges[i].Key ||
+			!reChanges[i].Row.Equal(wantChanges[i].Row) {
+			t.Fatalf("change %d = %+v, want %+v", i, reChanges[i], wantChanges[i])
+		}
+	}
+	stats := re.Stats()
+	if stats.Epoch != wantVersion || stats.Rels[tern].Rows != 40 {
+		t.Errorf("stats after reopen: epoch %d rows %d", stats.Epoch, stats.Rels[tern].Rows)
+	}
+	// A duplicate of a recovered row must still be detected — and must not
+	// advance the version (the property OpenSystem's program replay relies
+	// on).
+	if re.Insert(tern, before[0]) {
+		t.Error("recovered row re-inserted as new")
+	}
+	if re.Version() != wantVersion {
+		t.Error("duplicate insert advanced the version after reopen")
+	}
+	// And genuinely new facts append cleanly after recovery.
+	syms := re.Symbols()
+	if !re.Insert(tern, relation.Tuple{syms.Intern("new"), syms.Intern("new"), syms.Intern("new")}) {
+		t.Error("fresh insert after reopen rejected")
+	}
+	if re.Version() != wantVersion+1 {
+		t.Error("fresh insert did not advance version by one")
+	}
+}
+
+// TestDiskReopenWithoutClose models a killed process: the first handle is
+// never closed (no final sync), yet a second open of the same directory
+// sees every committed row — the append-through-page-cache write path
+// keeps the files complete at all times with respect to process death.
+func TestDiskReopenWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore(st)
+	want := st.Version()
+	// No Close: simulate SIGKILL by just abandoning the handle.
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Version() != want {
+		t.Fatalf("version = %d, want %d", re.Version(), want)
+	}
+	if n := re.Cardinality(ast.PredKey{Name: "t", Arity: 3}); n != 40 {
+		t.Fatalf("cardinality after kill-reopen = %d, want 40", n)
+	}
+}
+
+// corrupt appends or truncates a store file, simulating a crash mid-write.
+func corrupt(t *testing.T, path string, truncateBy int, garbage []byte) {
+	t.Helper()
+	if truncateBy > 0 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-int64(truncateBy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(garbage) > 0 {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(garbage); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// TestDiskTornJournal crashes "between the segment write and the journal
+// write": the segment holds an orphan row the journal never committed.
+// Reopen must drop the orphan and leave a store identical to one that
+// never attempted the insert.
+func TestDiskTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := st.Symbols()
+	e := ast.PredKey{Name: "e", Arity: 2}
+	for i := 0; i < 5; i++ {
+		st.Insert(e, relation.Tuple{syms.Intern("a"), syms.Intern(strings.Repeat("b", i+1))})
+	}
+	st.Close()
+
+	// Orphan segment row (8 bytes of row data, no journal record) plus a
+	// torn journal tail (3 bytes of a half-written record).
+	corrupt(t, filepath.Join(dir, "seg-0.dat"), 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	corrupt(t, filepath.Join(dir, "journal.log"), 0, []byte{0, 0, 0})
+
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Version() != 5 || re.Cardinality(e) != 5 {
+		t.Fatalf("after torn tail: version %d cardinality %d, want 5/5", re.Version(), re.Cardinality(e))
+	}
+	// The truncated store accepts new inserts and stays consistent across
+	// one more reopen.
+	if !re.Insert(e, relation.Tuple{syms.Intern("x"), syms.Intern("y")}) {
+		t.Fatal("insert after recovery failed")
+	}
+	re.Close()
+	re2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Version() != 6 || re2.Cardinality(e) != 6 {
+		t.Errorf("after recovery insert: version %d cardinality %d, want 6/6", re2.Version(), re2.Cardinality(e))
+	}
+}
+
+// TestDiskTornSymsAndPreds truncates the symbol log and predicate table
+// mid-entry; reopen must cut the torn tails (and any journal records that
+// depended on them) rather than fail or misparse.
+func TestDiskTornSymsAndPreds(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := st.Symbols()
+	st.Insert(ast.PredKey{Name: "e", Arity: 2}, relation.Tuple{syms.Intern("aa"), syms.Intern("bb")})
+	st.Close()
+
+	corrupt(t, filepath.Join(dir, "syms.log"), 0, []byte{40}) // length byte, no payload
+	corrupt(t, filepath.Join(dir, "preds.tab"), 0, []byte{7, 'z'})
+
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Version() != 1 || re.Cardinality(ast.PredKey{Name: "e", Arity: 2}) != 1 {
+		t.Fatalf("after torn logs: version %d, want 1", re.Version())
+	}
+
+	// Now tear preds.tab so deeply that journal records reference a dropped
+	// predicate: those records (and the segment rows behind them) must be
+	// discarded together.
+	re.Close()
+	if err := os.Truncate(filepath.Join(dir, "preds.tab"), 0); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Version() != 0 || re2.Has(ast.PredKey{Name: "e", Arity: 2}) {
+		t.Errorf("journal records for dropped predicate survived: version %d", re2.Version())
+	}
+}
+
+// TestDiskManifestGuard rejects a directory claiming another format.
+func TestDiskManifestGuard(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("something else\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(dir); err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("foreign manifest accepted: %v", err)
+	}
+}
+
+// TestDiskHotTupleCache checks the point-read cache: repeated bound scans
+// hit it, sequential scans bypass it, and a tiny capacity evicts.
+func TestDiskHotTupleCache(t *testing.T) {
+	st, err := OpenDisk(t.TempDir(), DiskOptions{CacheTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	syms := st.Symbols()
+	e := ast.PredKey{Name: "e", Arity: 2}
+	for i := 0; i < 16; i++ {
+		st.Insert(e, relation.Tuple{syms.Intern(string(rune('a' + i%4))), syms.Intern(string(rune('m' + i)))})
+	}
+	a, _ := syms.Lookup("a")
+	probe := relation.Binding{a, symtab.NoSym}
+	collect(st, e, probe) // cold: misses populate
+	h0, m0 := st.CacheStats()
+	if h0 != 0 || m0 == 0 {
+		t.Fatalf("cold probe: hits %d misses %d", h0, m0)
+	}
+	collect(st, e, probe) // warm: all hits
+	h1, m1 := st.CacheStats()
+	if h1 != m0 || m1 != m0 {
+		t.Errorf("warm probe: hits %d misses %d, want %d hits and no new misses", h1, m1, m0)
+	}
+	// Sequential scans must not touch the cache at all.
+	collect(st, e, nil)
+	h2, m2 := st.CacheStats()
+	if h2 != h1 || m2 != m1 {
+		t.Errorf("sequential scan touched the cache: %d/%d -> %d/%d", h1, m1, h2, m2)
+	}
+	// Probing all four key groups cycles 16 tuples through 4 slots:
+	// eviction must keep the cache bounded without breaking results.
+	for _, s := range []string{"a", "b", "c", "d"} {
+		v, _ := syms.Lookup(s)
+		if n := len(collect(st, e, relation.Binding{v, symtab.NoSym})); n != 4 {
+			t.Errorf("group %s: %d rows, want 4", s, n)
+		}
+	}
+	// Disabled cache: no counters move, results unchanged.
+	off, err := OpenDisk(t.TempDir(), DiskOptions{CacheTuples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	off.Insert(e, relation.Tuple{off.Symbols().Intern("p"), off.Symbols().Intern("q")})
+	p, _ := off.Symbols().Lookup("p")
+	if n := len(collect(off, e, relation.Binding{p, symtab.NoSym})); n != 1 {
+		t.Errorf("uncached probe: %d rows, want 1", n)
+	}
+	if h, m := off.CacheStats(); h != 0 || m != 0 {
+		t.Errorf("disabled cache counted %d/%d", h, m)
+	}
+}
+
+// TestDiskRemoveOnClose pins the MPQ_STORE=disk temp-store contract.
+func TestDiskRemoveOnClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scratch")
+	st, err := OpenDisk(dir, DiskOptions{removeOnClose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Insert(ast.PredKey{Name: "e", Arity: 1}, relation.Tuple{st.Symbols().Intern("x")})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("store directory survived Close: %v", err)
+	}
+}
+
+// TestLoadRowsAtomic pins the all-or-nothing bulk-load contract: a parse
+// error anywhere in the input leaves the database completely untouched —
+// no partial facts, no version bump, no change-log entries. (Regression:
+// LoadRows used to insert rows up to the first bad line.)
+func TestLoadRowsAtomic(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			db := FromStorage(mk())
+			db.Add("edge", "seed", "row")
+			v := db.Version()
+			_, err := db.LoadRows("edge", strings.NewReader("a,b\nc,d\nragged\ne,f\n"))
+			if err == nil {
+				t.Fatal("ragged input accepted")
+			}
+			if db.Version() != v {
+				t.Errorf("failed load advanced version %d -> %d", v, db.Version())
+			}
+			if n := db.Cardinality(ast.PredKey{Name: "edge", Arity: 2}); n != 1 {
+				t.Errorf("failed load left %d rows, want the 1 seed row", n)
+			}
+			if ch := db.ChangesSince(v); ch != nil {
+				t.Errorf("failed load logged changes %v", ch)
+			}
+			// The same rows minus the bad line load cleanly afterwards.
+			added, err := db.LoadRows("edge", strings.NewReader("a,b\nc,d\ne,f\n"))
+			if err != nil || len(added) != 3 {
+				t.Fatalf("clean load after failure: added=%d err=%v", len(added), err)
+			}
+		})
+	}
+}

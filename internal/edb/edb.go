@@ -3,46 +3,42 @@
 // of the rule/goal graph service tuple requests by selection against these
 // relations; during graph construction the EDB is never consulted (§2.1),
 // which this package's read-only interface makes easy to respect.
+//
+// Storage is the pluggable seam: the in-memory store (New) and the
+// disk-backed segment store (OpenDisk) both implement it, and Database is
+// the loading/convenience layer shared by every backend.
 package edb
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"iter"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
 	"repro/internal/symtab"
 )
 
-// Database is a set of named base relations sharing one symbol table.
-// Loading is not safe for concurrent use; once loaded, concurrent reads are
-// safe provided every index the readers will probe has been warmed (index
-// construction is lazy and mutates the relation) — see WarmIndexes and
-// WarmIndexesFor, which the engine calls before starting node processes.
+// Database is the loading and convenience layer over a Storage backend: it
+// parses facts, interns their constants, and delegates every read to the
+// store. It implements Storage itself (by delegation), so any API that
+// takes a Storage accepts a *Database directly.
+//
+// Loading is not safe for concurrent use with other loading; once loaded,
+// concurrent reads are safe provided every index the readers will probe
+// has been warmed (see WarmFor / WarmIndexesFor, which the engine calls
+// before starting node processes). A lone writer may overlap readers —
+// the backends synchronize internally — but callers wanting a consistent
+// read serialize mutation themselves (mpq.System holds its mutation lock).
 type Database struct {
-	Syms *symtab.Table
-	rels map[ast.PredKey]*relation.Relation
-	// version counts successful mutations. Serving layers key cached
-	// query results on it so any AddFact/Add/LoadRows invalidates them.
-	version atomic.Uint64
-	// changes logs every successful mutation in version order: changes[i]
-	// has Seq == i+1. Subscriptions consult it to decide whether a version
-	// bump touched any base predicate their query reads. Appends happen
-	// under the same external lock that serialises mutations (the change
-	// log is not an extra synchronisation point); ChangesSince copies the
-	// tail under chMu so concurrent readers never see a growing slice.
-	changes []Change
-	chMu    sync.Mutex
-	// stats holds incrementally maintained per-relation statistics
-	// (cardinality + per-column distinct sketches), guarded by chMu so
-	// Stats() snapshots are safe against concurrent bulk loading.
-	stats map[ast.PredKey]*relStats
+	// Syms is the store's symbol table (== Symbols()), exported for the
+	// many call sites that render or intern constants.
+	Syms  *symtab.Table
+	store Storage
 }
 
 // Change records one successful mutation: the row inserted and the
@@ -54,9 +50,39 @@ type Change struct {
 	Row relation.Tuple
 }
 
-// New returns an empty database with a fresh symbol table.
+// New returns an empty database. The backend is the in-memory store
+// unless the MPQ_STORE environment variable names another ("disk" backs
+// every New database with a disk store in a fresh temporary directory —
+// the CI knob that runs the whole engine suite against the disk backend).
 func New() *Database {
-	return &Database{Syms: symtab.New(), rels: make(map[ast.PredKey]*relation.Relation)}
+	if os.Getenv("MPQ_STORE") == "disk" {
+		return FromStorage(newTempDiskStore())
+	}
+	return FromStorage(newMemStore())
+}
+
+// newTempDiskStore opens a disk store in a fresh temporary directory for
+// MPQ_STORE=disk runs. The store removes its directory on Close, and a
+// finalizer closes leaked stores so long test runs do not exhaust file
+// descriptors. Failure panics: a store-backend CI run must never silently
+// fall back to memory.
+func newTempDiskStore() Storage {
+	dir, err := os.MkdirTemp("", "mpq-edb-")
+	if err != nil {
+		panic(fmt.Sprintf("edb: MPQ_STORE=disk: %v", err))
+	}
+	ds, err := OpenDisk(dir, DiskOptions{removeOnClose: true})
+	if err != nil {
+		panic(fmt.Sprintf("edb: MPQ_STORE=disk: %v", err))
+	}
+	runtime.SetFinalizer(ds, func(s *DiskStore) { s.Close() })
+	return ds
+}
+
+// FromStorage wraps an existing store (e.g. a reopened disk store) in the
+// loading layer.
+func FromStorage(st Storage) *Database {
+	return &Database{Syms: st.Symbols(), store: st}
 }
 
 // FromProgram loads every fact of the program into a new database.
@@ -68,6 +94,13 @@ func FromProgram(p *ast.Program) *Database {
 	return db
 }
 
+// Store returns the underlying Storage backend.
+func (db *Database) Store() Storage { return db.store }
+
+// Close releases the backend's resources. Harmless for the in-memory
+// store; required for disk stores (it syncs and closes the segment files).
+func (db *Database) Close() error { return db.store.Close() }
+
 // AddFact inserts one ground atom and reports whether it was new.
 // It panics if the atom is not ground; callers validate programs first.
 func (db *Database) AddFact(a ast.Atom) bool {
@@ -78,11 +111,7 @@ func (db *Database) AddFact(a ast.Atom) bool {
 		}
 		t[i] = db.Syms.Intern(arg.Const)
 	}
-	if db.rel(a.Key()).Insert(t) {
-		db.record(a.Key(), t)
-		return true
-	}
-	return false
+	return db.store.Insert(a.Key(), t)
 }
 
 // Add inserts the fact pred(args...) given as raw strings and reports
@@ -93,92 +122,66 @@ func (db *Database) Add(pred string, args ...string) bool {
 	for i, s := range args {
 		t[i] = db.Syms.Intern(s)
 	}
-	key := ast.PredKey{Name: pred, Arity: len(args)}
-	if db.rel(key).Insert(t) {
-		db.record(key, t)
-		return true
-	}
-	return false
+	return db.store.Insert(ast.PredKey{Name: pred, Arity: len(args)}, t)
 }
 
-// record logs one successful insert, maintains the incremental statistics,
-// and bumps the version. The version bump comes last so a reader that
-// observes the new version is guaranteed to find the change in the log.
-func (db *Database) record(key ast.PredKey, t relation.Tuple) {
-	db.chMu.Lock()
-	v := db.version.Load() + 1
-	db.changes = append(db.changes, Change{Seq: v, Key: key, Row: t})
-	db.noteInsert(key, t)
-	db.chMu.Unlock()
-	db.version.Add(1)
+// ---- Storage delegation ---------------------------------------------------
+
+// Symbols returns the symbol table (same as the Syms field).
+func (db *Database) Symbols() *symtab.Table { return db.Syms }
+
+// Insert adds one pre-interned row; see Storage.Insert.
+func (db *Database) Insert(key ast.PredKey, t relation.Tuple) bool {
+	return db.store.Insert(key, t)
+}
+
+// Scan streams key's rows matching the partial binding; see Storage.Scan.
+func (db *Database) Scan(key ast.PredKey, b relation.Binding) iter.Seq[relation.Tuple] {
+	return db.store.Scan(key, b)
+}
+
+// ScanSince streams key's rows with insertion ordinal >= from.
+func (db *Database) ScanSince(key ast.PredKey, from int) iter.Seq[relation.Tuple] {
+	return db.store.ScanSince(key, from)
 }
 
 // ChangesSince returns a copy of the changes with Seq > v, oldest first.
 // Passing the value of a previous Version() call yields exactly the
 // mutations that happened after it.
-func (db *Database) ChangesSince(v uint64) []Change {
-	db.chMu.Lock()
-	defer db.chMu.Unlock()
-	if v >= uint64(len(db.changes)) {
-		return nil
-	}
-	out := make([]Change, len(db.changes)-int(v))
-	copy(out, db.changes[v:])
-	return out
-}
+func (db *Database) ChangesSince(v uint64) []Change { return db.store.ChangesSince(v) }
 
 // Version returns a counter that increases on every successful mutation.
 // Two reads returning the same value bracket a window with no new facts,
 // which is what result caches key on to stay fresh.
-func (db *Database) Version() uint64 {
-	return db.version.Load()
-}
-
-func (db *Database) rel(key ast.PredKey) *relation.Relation {
-	r, ok := db.rels[key]
-	if !ok {
-		r = relation.New(key.Arity)
-		db.rels[key] = r
-	}
-	return r
-}
+func (db *Database) Version() uint64 { return db.store.Version() }
 
 // Has reports whether the database contains any facts for key.
-func (db *Database) Has(key ast.PredKey) bool {
-	_, ok := db.rels[key]
-	return ok
-}
-
-// Relation returns the base relation for key, or an empty relation of the
-// right arity if no facts were loaded for it. The result is owned by the
-// database and must not be mutated.
-func (db *Database) Relation(key ast.PredKey) *relation.Relation {
-	if r, ok := db.rels[key]; ok {
-		return r
-	}
-	return relation.New(key.Arity)
-}
+func (db *Database) Has(key ast.PredKey) bool { return db.store.Has(key) }
 
 // Preds returns the predicate keys with at least one fact, sorted.
-func (db *Database) Preds() []ast.PredKey {
-	out := make([]ast.PredKey, 0, len(db.rels))
-	for k := range db.rels {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
-		}
-		return out[i].Arity < out[j].Arity
-	})
-	return out
-}
+func (db *Database) Preds() []ast.PredKey { return db.store.Preds() }
+
+// Cardinality returns key's exact row count.
+func (db *Database) Cardinality(key ast.PredKey) int { return db.store.Cardinality(key) }
+
+// Distinct returns the exact distinct-value count of key's column col. It
+// may build an index: planning-time only.
+func (db *Database) Distinct(key ast.PredKey, col int) int { return db.store.Distinct(key, col) }
+
+// Stats snapshots the database's statistics; see Storage.Stats.
+func (db *Database) Stats() Stats { return db.store.Stats() }
+
+// WarmFor pre-builds every single-column index plus the named composite
+// indexes; see Storage.WarmFor.
+func (db *Database) WarmFor(needs []IndexNeed) { db.store.WarmFor(needs) }
+
+// ---- loading --------------------------------------------------------------
 
 // Facts returns the total number of stored facts.
 func (db *Database) Facts() int {
 	n := 0
-	for _, r := range db.rels {
-		n += r.Len()
+	for _, key := range db.store.Preds() {
+		n += db.store.Cardinality(key)
 	}
 	return n
 }
@@ -192,13 +195,15 @@ func (db *Database) Constants() []symtab.Sym {
 
 // LoadRows bulk-loads delimited rows into the predicate's relation: one
 // fact per line, columns split on tabs or commas, blank lines and lines
-// starting with '#' skipped. Every row must have the same arity. It returns
-// the facts that were new, so callers keeping an ast.Program in sync can
-// append them.
+// starting with '#' skipped. Every row must have the same arity. Loading
+// is all-or-nothing: the whole input is parsed and validated before the
+// first insert, so a parse error (ragged row, oversized line, read
+// failure) leaves the database untouched. It returns the facts that were
+// new, so callers keeping an ast.Program in sync can append them.
 func (db *Database) LoadRows(pred string, r io.Reader) ([]ast.Atom, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var added []ast.Atom
+	var rows [][]string
 	arity, lineNo := -1, 0
 	for sc.Scan() {
 		lineNo++
@@ -218,8 +223,15 @@ func (db *Database) LoadRows(pred string, r io.Reader) ([]ast.Atom, error) {
 		if arity == -1 {
 			arity = len(cols)
 		} else if len(cols) != arity {
-			return added, fmt.Errorf("edb: %s line %d: %d columns, want %d", pred, lineNo, len(cols), arity)
+			return nil, fmt.Errorf("edb: %s line %d: %d columns, want %d", pred, lineNo, len(cols), arity)
 		}
+		rows = append(rows, cols)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edb: reading %s: %w", pred, err)
+	}
+	var added []ast.Atom
+	for _, cols := range rows {
 		if db.Add(pred, cols...) {
 			a := ast.Atom{Pred: pred}
 			for _, c := range cols {
@@ -227,9 +239,6 @@ func (db *Database) LoadRows(pred string, r io.Reader) ([]ast.Atom, error) {
 			}
 			added = append(added, a)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return added, fmt.Errorf("edb: reading %s: %w", pred, err)
 	}
 	return added, nil
 }
@@ -244,16 +253,6 @@ func (db *Database) LoadFile(pred, path string) ([]ast.Atom, error) {
 	return db.LoadRows(pred, f)
 }
 
-// WarmIndexes pre-builds a hash index on every column of every base
-// relation so that later concurrent reads never mutate relation state.
-func (db *Database) WarmIndexes() {
-	for _, r := range db.rels {
-		for c := 0; c < r.Arity(); c++ {
-			r.BuildIndex(c)
-		}
-	}
-}
-
 // IndexNeed names one composite index a query will probe on a base
 // relation: the columns a selection binds together.
 type IndexNeed struct {
@@ -261,18 +260,10 @@ type IndexNeed struct {
 	Cols []int
 }
 
-// WarmIndexesFor pre-builds every single-column index plus the named
-// composite indexes. The engine derives the needs from the loaded program's
-// adornments (an EDB leaf binds its constant positions plus its "d"
-// positions, and Relation.Select probes the composite index over exactly
-// that column set), so evaluation never builds an index lazily on a shared
-// relation. Needs for unloaded predicates are ignored; warming the same
-// index twice is a no-op.
-func (db *Database) WarmIndexesFor(needs []IndexNeed) {
-	db.WarmIndexes()
-	for _, n := range needs {
-		if r, ok := db.rels[n.Key]; ok && len(n.Cols) > 0 {
-			r.BuildIndexOn(n.Cols...)
-		}
-	}
-}
+// WarmIndexesFor is the historical name of WarmFor, kept for callers that
+// coordinate warming themselves.
+func (db *Database) WarmIndexesFor(needs []IndexNeed) { db.store.WarmFor(needs) }
+
+// WarmIndexes pre-builds a hash index on every column of every base
+// relation so that later concurrent reads never mutate relation state.
+func (db *Database) WarmIndexes() { db.store.WarmFor(nil) }

@@ -22,14 +22,16 @@ func TestAddAndSelect(t *testing.T) {
 	}
 	db.Add("r", "a", "c")
 	key := ast.PredKey{Name: "r", Arity: 2}
-	rel := db.Relation(key)
-	if rel.Len() != 2 {
-		t.Fatalf("r has %d tuples", rel.Len())
+	if n := db.Cardinality(key); n != 2 {
+		t.Fatalf("r has %d tuples", n)
 	}
 	a, _ := db.Syms.Lookup("a")
-	got := rel.Select(relation.Binding{a, symtab.NoSym})
-	if len(got) != 2 {
-		t.Errorf("Select(a,_) = %d rows", len(got))
+	got := 0
+	for range db.Scan(key, relation.Binding{a, symtab.NoSym}) {
+		got++
+	}
+	if got != 2 {
+		t.Errorf("Scan(a,_) = %d rows", got)
 	}
 }
 
@@ -53,9 +55,12 @@ func TestFromProgram(t *testing.T) {
 
 func TestMissingRelationIsEmpty(t *testing.T) {
 	db := New()
-	rel := db.Relation(ast.PredKey{Name: "nothing", Arity: 3})
+	rel := Materialize(db, ast.PredKey{Name: "nothing", Arity: 3})
 	if rel.Len() != 0 || rel.Arity() != 3 {
 		t.Errorf("missing relation: len=%d arity=%d", rel.Len(), rel.Arity())
+	}
+	if db.Has(ast.PredKey{Name: "nothing", Arity: 3}) {
+		t.Error("Materialize of a missing predicate created it")
 	}
 }
 
@@ -63,10 +68,10 @@ func TestSameNameDifferentArity(t *testing.T) {
 	db := New()
 	db.Add("r", "a")
 	db.Add("r", "a", "b")
-	if db.Relation(ast.PredKey{Name: "r", Arity: 1}).Len() != 1 {
+	if db.Cardinality(ast.PredKey{Name: "r", Arity: 1}) != 1 {
 		t.Error("r/1 wrong")
 	}
-	if db.Relation(ast.PredKey{Name: "r", Arity: 2}).Len() != 1 {
+	if db.Cardinality(ast.PredKey{Name: "r", Arity: 2}) != 1 {
 		t.Error("r/2 wrong")
 	}
 }
@@ -105,9 +110,8 @@ a,b
 	if len(added) != 2 {
 		t.Errorf("added = %d, want 2 (dup and blank skipped)", len(added))
 	}
-	rel := db.Relation(ast.PredKey{Name: "edge", Arity: 2})
-	if rel.Len() != 2 {
-		t.Errorf("relation has %d tuples", rel.Len())
+	if n := db.Cardinality(ast.PredKey{Name: "edge", Arity: 2}); n != 2 {
+		t.Errorf("relation has %d tuples", n)
 	}
 	c, ok := db.Syms.Lookup("c")
 	if !ok {
@@ -127,7 +131,7 @@ func TestLoadRowsTabs(t *testing.T) {
 	if err != nil || len(added) != 2 {
 		t.Fatalf("added=%d err=%v", len(added), err)
 	}
-	if db.Relation(ast.PredKey{Name: "r", Arity: 3}).Len() != 2 {
+	if db.Cardinality(ast.PredKey{Name: "r", Arity: 3}) != 2 {
 		t.Error("tab-separated rows not loaded as arity 3")
 	}
 }
@@ -166,7 +170,8 @@ func TestWarmIndexes(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		go func() {
 			for j := 0; j < 100; j++ {
-				db.Relation(key).Select(relation.Binding{a, symtab.NoSym})
+				for range db.Scan(key, relation.Binding{a, symtab.NoSym}) {
+				}
 			}
 			done <- true
 		}()
@@ -178,7 +183,9 @@ func TestWarmIndexes(t *testing.T) {
 // TestWarmIndexesForIdempotent is the regression test for composite
 // warming: warming the same needs twice must not rebuild any index.
 func TestWarmIndexesForIdempotent(t *testing.T) {
-	db := New()
+	// Index-build introspection is a relation.Relation feature, so this
+	// test pins the in-memory backend regardless of MPQ_STORE.
+	db := FromStorage(NewMemory())
 	db.Add("g", "a", "b", "c")
 	db.Add("g", "a", "d", "e")
 	db.Add("lone", "x")
@@ -188,7 +195,7 @@ func TestWarmIndexesForIdempotent(t *testing.T) {
 		{Key: ast.PredKey{Name: "absent", Arity: 2}, Cols: []int{0, 1}},
 	}
 	db.WarmIndexesFor(needs)
-	g := db.Relation(ast.PredKey{Name: "g", Arity: 3})
+	g := Materialize(db, ast.PredKey{Name: "g", Arity: 3})
 	builds := g.IndexBuilds()
 	if builds != 4 { // three single-column + one composite
 		t.Errorf("after first warm: %d index builds, want 4", builds)

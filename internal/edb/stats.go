@@ -75,10 +75,18 @@ func (c *colSketch) estimate() int {
 }
 
 // relStats is the live (mutable) statistics state for one base relation,
-// guarded by Database.chMu.
+// guarded by the owning store's statistics lock.
 type relStats struct {
 	rows int
 	cols []colSketch
+}
+
+// note folds one successful insert into the statistics.
+func (rs *relStats) note(t relation.Tuple) {
+	rs.rows++
+	for i := range t {
+		rs.cols[i].add(hashSym(t, i))
+	}
 }
 
 // RelStats is the read-only statistics snapshot for one base relation.
@@ -104,32 +112,12 @@ type Stats struct {
 	Rels map[ast.PredKey]RelStats
 }
 
-// noteInsert maintains the incremental statistics for one successful
-// insert. Called from record under chMu.
-func (db *Database) noteInsert(key ast.PredKey, t relation.Tuple) {
-	if db.stats == nil {
-		db.stats = make(map[ast.PredKey]*relStats)
-	}
-	rs, ok := db.stats[key]
-	if !ok {
-		rs = &relStats{cols: make([]colSketch, key.Arity)}
-		db.stats[key] = rs
-	}
-	rs.rows++
-	for i := range t {
-		rs.cols[i].add(hashSym(t, i))
-	}
-}
-
-// Stats snapshots the database's statistics. It is safe to call while a
-// concurrent mutation is in flight: the snapshot is consistent as of some
-// instant, and Epoch records which one. The returned structure is owned
-// by the caller.
-func (db *Database) Stats() Stats {
-	db.chMu.Lock()
-	defer db.chMu.Unlock()
-	st := Stats{Epoch: db.version.Load(), Rels: make(map[ast.PredKey]RelStats, len(db.stats))}
-	for key, rs := range db.stats {
+// snapshotStats renders the live statistics map into a caller-owned Stats
+// snapshot stamped with the given epoch. Callers hold their store's
+// statistics lock, so the snapshot is consistent as of some instant.
+func snapshotStats(epoch uint64, stats map[ast.PredKey]*relStats) Stats {
+	st := Stats{Epoch: epoch, Rels: make(map[ast.PredKey]RelStats, len(stats))}
+	for key, rs := range stats {
 		dist := make([]int, len(rs.cols))
 		for i := range rs.cols {
 			d := rs.cols[i].estimate()

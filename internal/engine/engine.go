@@ -117,7 +117,7 @@ type Options struct {
 
 // Run evaluates the graph's query against the database with every node
 // process in this OS process, communicating over in-process mailboxes.
-func Run(g *rgg.Graph, db *edb.Database, opts Options) (*Result, error) {
+func Run(g *rgg.Graph, db edb.Storage, opts Options) (*Result, error) {
 	return RunStream(g, db, opts, nil)
 }
 
@@ -126,9 +126,9 @@ func Run(g *rgg.Graph, db *edb.Database, opts Options) (*Result, error) {
 // in throughout the computation", §3.1). Returning false cancels the
 // evaluation early — remaining node processes are shut down and the
 // partial Result returned. A nil yield collects answers silently.
-func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation.Tuple) bool) (*Result, error) {
+func RunStream(g *rgg.Graph, db edb.Storage, opts Options, yield func(relation.Tuple) bool) (*Result, error) {
 	n := len(g.Nodes)
-	db.WarmIndexesFor(edbIndexNeeds(g))
+	db.WarmFor(edbIndexNeeds(g))
 	local := transport.NewLocal(n + 1) // +1: the driver's mailbox
 	rt, err := newRunner(g, db, local, opts, nil, 0)
 	if err != nil {
@@ -159,7 +159,7 @@ func RunStream(g *rgg.Graph, db *edb.Database, opts Options, yield func(relation
 // Each participating site calls RunSites with its own site id and network;
 // the call on the driver's site returns the Result, all others return
 // (nil, nil) after their nodes shut down.
-func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *transport.Local,
+func RunSites(g *rgg.Graph, db edb.Storage, net transport.Network, local *transport.Local,
 	hosts []int, site int, opts Options) (*Result, error) {
 	if len(hosts) != len(g.Nodes)+1 {
 		return nil, fmt.Errorf("engine: hosts has %d entries, want %d (nodes + driver)", len(hosts), len(g.Nodes)+1)
@@ -174,7 +174,7 @@ func RunSites(g *rgg.Graph, db *edb.Database, net transport.Network, local *tran
 			}
 		}
 	}
-	db.WarmIndexesFor(edbIndexNeeds(g))
+	db.WarmFor(edbIndexNeeds(g))
 	rt, err := newRunner(g, db, net, opts, hosts, site)
 	if err != nil {
 		return nil, err
@@ -234,7 +234,7 @@ func Partition(g *rgg.Graph, sites int) []int {
 // stats sink. Mutable evaluation state lives inside each proc.
 type runner struct {
 	g        *rgg.Graph
-	db       *edb.Database
+	db       edb.Storage
 	net      transport.Network
 	stats    *trace.Stats
 	driver   int // driver's node id: len(g.Nodes)
@@ -277,7 +277,7 @@ type runner struct {
 	delta bool
 }
 
-func newRunner(g *rgg.Graph, db *edb.Database, net transport.Network, opts Options,
+func newRunner(g *rgg.Graph, db edb.Storage, net transport.Network, opts Options,
 	hosts []int, site int) (*runner, error) {
 	stats := opts.Stats
 	if stats == nil {

@@ -34,15 +34,17 @@ type goalState struct {
 	byDKey          map[string][]relation.Tuple
 
 	// EDB leaves.
-	isEDB    bool
+	isEDB bool
+	// edbRel is non-nil only for SLICED leaves (EDB shards, worker shards):
+	// a private relation holding exactly this leaf's hash slice of the base
+	// relation. Plain leaves leave it nil and scan the store directly, so a
+	// predicate with no facts at plan time picks up rows as they arrive.
 	edbRel   *relation.Relation
 	consts   relation.Binding // constant positions, pre-interned
 	varPoses map[string][]int // variable → its argument positions
-	// seenBase is the length of the LIVE base relation this leaf has
-	// absorbed: rows [seenBase:] are the next delta window (Incremental
-	// rounds). The live relation is re-resolved from the database each
-	// round, so a predicate with no facts at plan time still picks up its
-	// relation once the first fact creates it.
+	// seenBase is the base-relation cardinality this leaf has absorbed:
+	// ordinals [seenBase:] are the next delta window (Incremental rounds),
+	// streamed from the store with ScanSince.
 	seenBase int
 
 	// Variant nodes.
@@ -88,30 +90,19 @@ func newGoalState(p *proc) *goalState {
 		g.dIdx = append(g.dIdx, idx[pos])
 	}
 	if g.isEDB {
-		g.edbRel = p.rt.db.Relation(n.Atom.Key())
-		g.seenBase = g.edbRel.Len()
-		if n.EDBShardOf > 1 {
-			// Shard leaf of a hash-partitioned EDB relation: pre-slice the
-			// base relation so this leaf serves exactly its hash slice. The
-			// sibling shards hold the complement; requests are broadcast to
-			// all of them, so the union of the slices answers each request.
-			slice := relation.New(g.edbRel.Arity())
-			for _, row := range g.edbRel.Rows() {
-				if int(relation.HashTuple(row)%uint64(n.EDBShardOf)) == n.EDBShard {
-					slice.Insert(row)
-				}
-			}
-			g.edbRel = slice
-		}
-		if p.wk != nil && len(g.dPos) > 0 {
-			// Worker shard of a partitioned EDB leaf: keep only the rows whose
-			// "d" projection hashes to this worker. Tuple requests are routed
-			// by the same hash of the same projection (partState.onTupReq), so
-			// every binding finds all of its matching rows — and only those —
-			// in this worker's slice.
-			slice := relation.New(g.edbRel.Arity())
-			for _, row := range g.edbRel.Rows() {
-				if int(relation.HashTupleAt(row, g.dPos)%uint64(p.wk.ps.spec.n)) == p.wk.idx {
+		key := n.Atom.Key()
+		g.seenBase = p.rt.db.Cardinality(key)
+		if n.EDBShardOf > 1 || (p.wk != nil && len(g.dPos) > 0) {
+			// Sliced leaf — an EDB shard of a hash-partitioned base relation
+			// (requests are broadcast to all shards, so the union of the
+			// slices answers each request) and/or a worker shard keeping
+			// only the rows whose "d" projection hashes to this worker
+			// (tuple requests are routed by the same hash of the same
+			// projection in partState.onTupReq). Materialize the slice once
+			// by scanning the store; ownsRow applies both hash filters.
+			slice := relation.New(len(n.Atom.Args))
+			for row := range p.rt.db.Scan(key, nil) {
+				if g.ownsRow(row) {
 					slice.Insert(row)
 				}
 			}
@@ -123,7 +114,7 @@ func newGoalState(p *proc) *goalState {
 			if t.IsVar() {
 				g.varPoses[t.Var] = append(g.varPoses[t.Var], i)
 			} else {
-				g.consts[i] = p.rt.db.Syms.Intern(t.Const)
+				g.consts[i] = p.rt.db.Symbols().Intern(t.Const)
 			}
 		}
 	}
@@ -287,15 +278,14 @@ func (g *goalState) serviceEDB(vals []symtab.Sym) {
 	if d := g.p.rt.edbDelay; d > 0 {
 		time.Sleep(d) // simulated retrieval latency (see Options.EDBDelay)
 	}
-	rows := g.edbRel.Select(binding)
-	g.p.statEDBTuples(len(rows))
 	buf := make(relation.Tuple, len(g.carried))
-rows:
-	for _, row := range rows {
+	matched := 0
+	emit := func(row relation.Tuple) {
+		matched++
 		for _, poses := range g.varPoses {
 			for _, pos := range poses[1:] {
 				if row[pos] != row[poses[0]] {
-					continue rows // repeated variable mismatch
+					return // repeated variable mismatch
 				}
 			}
 		}
@@ -306,6 +296,16 @@ rows:
 		// that differ only existentially), then stream to the customer.
 		g.onTuple(buf)
 	}
+	if g.edbRel != nil {
+		for _, row := range g.edbRel.Select(binding) {
+			emit(row)
+		}
+	} else {
+		for row := range g.p.rt.db.Scan(atom.Key(), binding) {
+			emit(row)
+		}
+	}
+	g.p.statEDBTuples(matched)
 }
 
 // serviceEDBDelta seeds one delta round at an EDB leaf: the base-relation
@@ -338,21 +338,20 @@ func (g *goalState) ownsRow(row relation.Tuple) bool {
 }
 
 // refreshEDBSlice folds base-relation rows appended since this leaf's
-// seenBase watermark into its private slice. Shard leaves, worker leaves,
-// and leaves whose predicate had no facts at plan-build time hold a slice;
-// plain leaves read the live relation directly and only advance the
+// seenBase watermark into its private slice. Shard and worker leaves hold
+// a slice; plain leaves scan the store directly and only advance the
 // watermark. Called from reset() strictly between pooled evaluations, so
 // the inserts race no readers. Delta rounds do the same fold inline in
 // serviceEDBDelta (an Incremental's procs are never reset()).
 func (g *goalState) refreshEDBSlice() {
-	live := g.p.rt.db.Relation(g.p.node.Atom.Key())
-	rows := live.Rows()
+	key := g.p.node.Atom.Key()
 	from := g.seenBase
-	g.seenBase = len(rows)
-	if g.edbRel == live || from >= len(rows) {
+	total := g.p.rt.db.Cardinality(key)
+	g.seenBase = total
+	if g.edbRel == nil || from >= total {
 		return
 	}
-	for _, row := range rows[from:] {
+	for row := range g.p.rt.db.ScanSince(key, from) {
 		if g.ownsRow(row) {
 			g.edbRel.Insert(row)
 		}
@@ -361,18 +360,17 @@ func (g *goalState) refreshEDBSlice() {
 
 func (g *goalState) serviceEDBDelta() {
 	n := g.p.node
-	live := g.p.rt.db.Relation(n.Atom.Key())
-	rows := live.Rows()
 	from := g.seenBase
-	g.seenBase = len(rows)
-	if from >= len(rows) {
+	total := g.p.rt.db.Cardinality(n.Atom.Key())
+	g.seenBase = total
+	if from >= total {
 		return
 	}
 	g.p.statEDBScan()
 	if d := g.p.rt.edbDelay; d > 0 {
 		time.Sleep(d) // one simulated retrieval for the whole window
 	}
-	sliced := g.edbRel != live
+	sliced := g.edbRel != nil
 	owned, seeded := 0, 0
 	buf := make(relation.Tuple, len(g.carried))
 	var dVals relation.Tuple
@@ -380,7 +378,7 @@ func (g *goalState) serviceEDBDelta() {
 		dVals = make(relation.Tuple, len(g.dPos))
 	}
 window:
-	for _, row := range rows[from:] {
+	for row := range g.p.rt.db.ScanSince(n.Atom.Key(), from) {
 		if !g.ownsRow(row) {
 			continue
 		}

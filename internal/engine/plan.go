@@ -25,7 +25,7 @@ import (
 // behave exactly as in Run.
 type Plan struct {
 	g    *rgg.Graph
-	db   *edb.Database
+	db   edb.Storage
 	pool sync.Pool // of *scratch
 }
 
@@ -45,8 +45,8 @@ type scratch struct {
 // NewPlan compiles the graph/database pair into a reusable plan, warming
 // the EDB indexes the graph's adornments will probe (done here once instead
 // of per run).
-func NewPlan(g *rgg.Graph, db *edb.Database) *Plan {
-	db.WarmIndexesFor(edbIndexNeeds(g))
+func NewPlan(g *rgg.Graph, db edb.Storage) *Plan {
+	db.WarmFor(edbIndexNeeds(g))
 	return &Plan{g: g, db: db}
 }
 

@@ -109,7 +109,7 @@ func newRuleState(p *proc) *ruleState {
 				hbVars = append(hbVars, t.Var)
 			}
 		} else {
-			r.headDSym = append(r.headDSym, p.rt.db.Syms.Intern(t.Const))
+			r.headDSym = append(r.headDSym, p.rt.db.Symbols().Intern(t.Const))
 		}
 	}
 	r.hb = relation.New(len(hbVars))
@@ -125,7 +125,7 @@ func newRuleState(p *proc) *ruleState {
 			r.headConsts = append(r.headConsts, symtab.NoSym)
 			slot(t.Var)
 		} else {
-			r.headConsts = append(r.headConsts, p.rt.db.Syms.Intern(t.Const))
+			r.headConsts = append(r.headConsts, p.rt.db.Symbols().Intern(t.Const))
 		}
 	}
 

@@ -398,6 +398,17 @@ func (b Binding) Matches(t Tuple) bool {
 	return true
 }
 
+// Constrains reports whether any column is bound. A nil binding (the
+// storage layer's "scan everything") constrains nothing.
+func (b Binding) Constrains() bool {
+	for _, v := range b {
+		if v != symtab.NoSym {
+			return true
+		}
+	}
+	return false
+}
+
 // Select returns the tuples matching the binding, probing the composite
 // index over all bound columns (so a k-column binding is one hash lookup,
 // not an index probe plus a filter scan). The returned tuples are owned by
@@ -427,6 +438,25 @@ func (r *Relation) Select(b Binding) []Tuple {
 		}
 	}
 	return out
+}
+
+// HasSelectIndex reports whether the composite index Select(b) would probe
+// is already built — i.e. whether Select(b) is a pure read. An all-free
+// binding scans without an index and always reports true. Storage
+// implementations use this to decide between their read and write locks.
+func (r *Relation) HasSelectIndex(b Binding) bool {
+	var colsBuf [maxIndexCols]int
+	cols := colsBuf[:0]
+	for i, v := range b {
+		if v != symtab.NoSym && len(cols) < maxIndexCols {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) == 0 {
+		return true
+	}
+	_, ok := r.indexes[colsKey(cols)]
+	return ok
 }
 
 // Project returns a new relation containing each row restricted to cols, in

@@ -154,13 +154,13 @@ func LeftToRightStrategy(r ast.Rule, headAd adorn.Adornment) *adorn.SIP {
 // subgoal's estimate is its cardinality divided by the distinct count of
 // every bound column (uniformity assumption), and an IDB subgoal falls
 // back to a default size discounted per bound argument.
-func StatsStrategy(db *edb.Database) Strategy {
+func StatsStrategy(db edb.Storage) Strategy {
 	return func(r ast.Rule, headAd adorn.Adornment) *adorn.SIP {
 		// Default size for IDB subgoals: the largest base relation (their
 		// content derives from the EDB, so this is a safe pessimistic cap).
 		defaultSize := 1.0
 		for _, key := range db.Preds() {
-			if n := float64(db.Relation(key).Len()); n > defaultSize {
+			if n := float64(db.Cardinality(key)); n > defaultSize {
 				defaultSize = n
 			}
 		}
@@ -169,12 +169,11 @@ func StatsStrategy(db *edb.Database) Strategy {
 			for i, t := range a.Args {
 				bound[i] = !t.IsVar() || available[t.Var]
 			}
-			rel := db.Relation(a.Key())
 			if db.Has(a.Key()) {
-				est := float64(rel.Len())
+				est := float64(db.Cardinality(a.Key()))
 				for i := range a.Args {
 					if bound[i] {
-						if d := rel.Distinct(i); d > 1 {
+						if d := db.Distinct(a.Key(), i); d > 1 {
 							est /= float64(d)
 						}
 					}

@@ -142,10 +142,49 @@ func (s *System) notifyMutation() {
 	s.subMu.Unlock()
 }
 
+// SystemOption configures system construction (Load, LoadFile, OpenSystem).
+type SystemOption func(*sysConfig)
+
+type sysConfig struct {
+	storage edb.Storage
+}
+
+// WithStorage backs the system with the given storage engine instead of
+// the default (a fresh in-memory store, or a temporary disk store when the
+// MPQ_STORE=disk environment variable is set). The program's facts are
+// loaded into it on top of whatever it already holds — duplicate inserts
+// are no-ops, so handing a reopened edb.OpenDisk store to Load replays the
+// program without disturbing the store's version (see OpenSystem, which
+// packages exactly that). The System takes ownership: Close closes the
+// store.
+func WithStorage(st edb.Storage) SystemOption {
+	return func(c *sysConfig) { c.storage = st }
+}
+
+// newSystem builds a System over the configured (or default) storage and
+// loads the program's facts into it.
+func newSystem(prog *ast.Program, opts []SystemOption) *System {
+	var c sysConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	var db *edb.Database
+	if c.storage != nil {
+		db = edb.FromStorage(c.storage)
+	} else {
+		db = edb.New()
+	}
+	for _, f := range prog.Facts {
+		db.AddFact(f)
+	}
+	return &System{Program: prog, DB: db}
+}
+
 // Load parses and validates Datalog source, loading its facts into a fresh
-// database. The program must define at least one query rule (head predicate
-// "goal", or the `?- body.` sugar).
-func Load(source string) (*System, error) {
+// database (or the store given via WithStorage). The program must define
+// at least one query rule (head predicate "goal", or the `?- body.`
+// sugar).
+func Load(source string, opts ...SystemOption) (*System, error) {
 	prog, err := parser.Parse(source)
 	if err != nil {
 		return nil, err
@@ -153,11 +192,11 @@ func Load(source string) (*System, error) {
 	if err := prog.Validate(true); err != nil {
 		return nil, err
 	}
-	return &System{Program: prog, DB: edb.FromProgram(prog)}, nil
+	return newSystem(prog, opts), nil
 }
 
 // LoadFile reads and Loads the named file.
-func LoadFile(path string) (*System, error) {
+func LoadFile(path string, opts ...SystemOption) (*System, error) {
 	prog, err := parser.ParseFile(path)
 	if err != nil {
 		return nil, err
@@ -165,17 +204,69 @@ func LoadFile(path string) (*System, error) {
 	if err := prog.Validate(true); err != nil {
 		return nil, err
 	}
-	return &System{Program: prog, DB: edb.FromProgram(prog)}, nil
+	return newSystem(prog, opts), nil
 }
 
 // MustLoad is Load for programs known to be well formed; it panics on
 // error.
-func MustLoad(source string) *System {
-	s, err := Load(source)
+func MustLoad(source string, opts ...SystemOption) *System {
+	s, err := Load(source, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return s
+}
+
+// OpenSystem loads the program source over a persistent disk store rooted
+// at dir (created on first use): the store's facts, symbol table,
+// statistics, and version counter are recovered from disk, and the
+// program's own facts are (re-)inserted idempotently — duplicates are
+// no-ops that do not advance the version, so EDBVersion after a clean
+// reopen equals the version at shutdown and every result-cache key and
+// statistics epoch derived from it remains valid. Facts added at runtime
+// (AddFact, LoadData) persist across restarts; Close the system to sync
+// and release the store.
+func OpenSystem(dir, source string, opts ...SystemOption) (*System, error) {
+	st, err := edb.OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := Load(source, append(opts, WithStorage(st))...)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	// Facts added at runtime in earlier sessions (AddFact, LoadData) were
+	// recovered from disk but are absent from the parsed program; the
+	// bottom-up engines and the magic-sets rewrite read Program.Facts, so
+	// rebuild it from the store (the stored union is exactly the program's
+	// facts plus the runtime additions, deduplicated).
+	sys.Program.Facts = sys.factsFromStore()
+	return sys, nil
+}
+
+// factsFromStore renders every stored row back into a ground atom.
+func (s *System) factsFromStore() []ast.Atom {
+	var out []ast.Atom
+	for _, key := range s.DB.Preds() {
+		for row := range s.DB.Scan(key, nil) {
+			a := ast.Atom{Pred: key.Name}
+			for _, sym := range row {
+				a.Args = append(a.Args, ast.C(s.DB.Syms.String(sym)))
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Close releases the system's storage backend: a no-op for in-memory
+// systems, a sync-and-close for disk-backed ones (OpenSystem,
+// WithStorage over edb.OpenDisk). The system must not be used afterwards.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.DB.Close()
 }
 
 // LoadData bulk-loads delimited rows (tab- or comma-separated, '#'

@@ -10,8 +10,9 @@
 # gate: intra-repo markdown links must resolve, and `go vet` must be clean.
 # `./scripts/check.sh gate` (or `make gate`) runs the perf-regression
 # release gate: cmd/bench re-measures the headline ratios of the committed
-# BENCH_4/5/6.json records on this tree and exits nonzero if any falls
-# past its noise floor (thresholds: EXPERIMENTS.md). Self-test with
+# BENCH_4/5/6/8/9.json records on this tree — including the disk-store
+# cache-effectiveness headline — and exits nonzero if any falls past its
+# noise floor (thresholds: EXPERIMENTS.md). Self-test with
 # MPQ_GATE_HANDICAP=2ms, which simulates a slowed build — the gate must
 # then fail.
 set -eu
@@ -44,6 +45,11 @@ go test -race "$@" ./...
 # suite pinned to one CPU and spread over four, so worker-shard schedules
 # that only misbehave at a particular GOMAXPROCS still surface.
 go test -race -cpu=1,4 "$@" ./internal/engine/
+# Storage-backend sweep: the engine suite again, with every edb.New()
+# backed by a temporary disk segment store. Byte-identical behavior across
+# backends is the Storage contract (doc/STORAGE.md); this catches any
+# engine-level assumption that the EDB lives in relation.Relation memory.
+MPQ_STORE=disk go test -race "$@" ./internal/engine/ ./internal/edb/
 # Subscription soak: live subscriptions racing wire mutations (and the
 # mutation/wake ordering that keeps result caches fresh) re-run twice so
 # one-in-two schedules still surface; see doc/SUBSCRIPTIONS.md.
